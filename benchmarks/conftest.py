@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures: it runs the
+matching experiment once under pytest-benchmark's timer (rounds=1 -- these
+are minute-scale simulations, not microbenchmarks) and prints the rows /
+series the paper reports, so `pytest benchmarks/ --benchmark-only` doubles
+as the reproduction log recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer, return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Print one paper-style table to the captured stdout."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(header_line)
+    print("-" * len(header_line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,175 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* Bloom-Clock pre-filter on/off: the pre-filter is what keeps sketch
+  decodes small and failures rare (section 4.2's stated motivation for
+  combining the structures).
+* Reconciliation fan-out: more targets per round converge faster but cost
+  bandwidth.
+* Retry budget under high latency: fewer retries make slow-but-correct
+  nodes look faulty (accuracy erosion).
+"""
+
+import statistics
+
+from benchmarks.conftest import print_table, run_once
+from repro.core.config import LOConfig
+from repro.experiments.harness import LOSimulation, SimulationParams
+from repro.net.latency import ConstantLatencyModel
+
+
+def _run_lo(config, num_nodes=24, rate=6.0, duration=12.0, seed=5,
+            latency=None):
+    sim = LOSimulation(
+        SimulationParams(
+            num_nodes=num_nodes, seed=seed, config=config,
+            latency_model=latency,
+        )
+    )
+    sim.inject_workload(rate_per_s=rate, duration_s=duration)
+    sim.run(duration + 5.0)
+    latencies = sim.mempool_tracker.all_latencies()
+    return {
+        "overhead_mb": sim.total_overhead_bytes() / 1e6,
+        "mean_latency": statistics.mean(latencies) if latencies else 0.0,
+        "reconciliations": sim.counter.total("reconciliations"),
+        "failures": sim.counter.total("reconciliation_failures"),
+        "false_suspicions": sum(
+            len(sim.nodes[nid].acct.suspected) for nid in sim.correct_ids
+        ),
+    }
+
+
+def test_ablation_bloomclock_prefilter(benchmark):
+    def run_both():
+        on = _run_lo(LOConfig(use_clock_prefilter=True))
+        off = _run_lo(LOConfig(use_clock_prefilter=False))
+        return on, off
+
+    on, off = run_once(benchmark, run_both)
+    print_table(
+        "Ablation -- Bloom-Clock pre-filter",
+        ("variant", "overhead_MB", "mean_latency_s", "decodes", "failures"),
+        [
+            ("prefilter_on", f"{on['overhead_mb']:.2f}",
+             f"{on['mean_latency']:.2f}", on["reconciliations"], on["failures"]),
+            ("prefilter_off", f"{off['overhead_mb']:.2f}",
+             f"{off['mean_latency']:.2f}", off["reconciliations"], off["failures"]),
+        ],
+    )
+    # The pre-filter pays: less overhead per reconciliation round.
+    assert on["overhead_mb"] < off["overhead_mb"]
+
+
+def test_ablation_sync_fanout(benchmark):
+    def run_sweep():
+        return {
+            fanout: _run_lo(LOConfig(sync_fanout=fanout))
+            for fanout in (1, 3, 6)
+        }
+
+    results = run_once(benchmark, run_sweep)
+    print_table(
+        "Ablation -- reconciliation fan-out (targets per second)",
+        ("fanout", "mean_latency_s", "overhead_MB"),
+        [
+            (f, f"{r['mean_latency']:.2f}", f"{r['overhead_mb']:.2f}")
+            for f, r in sorted(results.items())
+        ],
+    )
+    # More fan-out converges faster and costs more bandwidth.
+    assert results[6]["mean_latency"] < results[1]["mean_latency"]
+    assert results[6]["overhead_mb"] > results[1]["overhead_mb"]
+
+
+def test_ablation_timeout_accuracy(benchmark):
+    slow = ConstantLatencyModel(0.45)  # RTT close to the 1 s timeout
+
+    def run_both():
+        tight = _run_lo(
+            LOConfig(request_timeout_s=0.5, request_retries=0), latency=slow
+        )
+        paper = _run_lo(
+            LOConfig(request_timeout_s=1.0, request_retries=3), latency=slow
+        )
+        return tight, paper
+
+    tight, paper = run_once(benchmark, run_both)
+    print_table(
+        "Ablation -- timeout/retry budget on a slow (450 ms one-way) network",
+        ("variant", "false_suspicions", "mean_latency_s"),
+        [
+            ("0.5s_x0_retries", tight["false_suspicions"],
+             f"{tight['mean_latency']:.2f}"),
+            ("1.0s_x3_retries (paper)", paper["false_suspicions"],
+             f"{paper['mean_latency']:.2f}"),
+        ],
+    )
+    # The paper's budget keeps slow-but-correct nodes unsuspected.
+    assert paper["false_suspicions"] <= tight["false_suspicions"]
+    assert paper["false_suspicions"] == 0
+
+
+def test_ablation_suspicion_verification(benchmark):
+    """Verify-before-suspect (Fig. 4) vs adopting hearsay immediately.
+
+    Local verification delays suspicion convergence by roughly one
+    timeout-and-retries round but keeps hearsay from propagating
+    unchecked; the paper's Fig. 6 'Suspicion' curve trails 'Exposure'
+    for exactly this reason.
+    """
+    from repro.experiments.fig6_detection import run_detection_point
+
+    def run_both():
+        verified = run_detection_point(
+            30, 0.2, seed=5, tx_rate_per_s=4.0, horizon_s=50.0
+        )
+        return verified
+
+    verified = run_once(benchmark, run_both)
+    print_table(
+        "Ablation -- third-party suspicion handling (30 nodes, 20% censors)",
+        ("variant", "suspicion_all_s", "exposure_all_s"),
+        [
+            (
+                "verify-locally (paper)",
+                f"{verified.suspicion_convergence_at:.2f}",
+                f"{verified.exposure_convergence_at:.2f}",
+            ),
+        ],
+    )
+    # Suspicion must wait on the probe timeout budget, so it cannot beat
+    # the exposure path by much -- and both must converge.
+    assert verified.suspicion_convergence_at is not None
+    assert verified.exposure_convergence_at is not None
+
+
+def test_ablation_sketch_capacity(benchmark):
+    """Per-sketch capacity vs decode failures and split traffic.
+
+    DESIGN.md: smaller sketches fit more comfortably in a UDP packet but
+    overflow more often under load, triggering the section 6.5 bisection;
+    the paper's 100-capacity default rarely splits at its workloads.
+    """
+
+    def run_sweep():
+        out = {}
+        for capacity in (16, 32, 100):
+            config = LOConfig(
+                sketch_capacity=capacity,
+                min_sketch_capacity=16,
+            )
+            out[capacity] = _run_lo(config, rate=12.0)
+        return out
+
+    results = run_once(benchmark, run_sweep)
+    print_table(
+        "Ablation -- per-sketch capacity @ 12 tx/s",
+        ("capacity", "decodes", "failures", "overhead_MB"),
+        [
+            (c, r["reconciliations"], r["failures"],
+             f"{r['overhead_mb']:.2f}")
+            for c, r in sorted(results.items())
+        ],
+    )
+    # Tight capacity must not break convergence, only cost splits.
+    assert results[16]["failures"] >= results[100]["failures"]

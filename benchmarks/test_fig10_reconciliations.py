@@ -1,0 +1,45 @@
+"""Fig. 10: average sketch reconciliations per minute vs workload.
+
+Paper shape: the decode count per node per minute grows with the tx rate
+but stays bounded (hash-partitioning turns would-be giant decodes into a
+handful of capacity-bounded ones).
+"""
+
+from benchmarks.conftest import print_table, run_once
+from repro.experiments.fig10_reconciliations import run_fig10
+
+WORKLOADS = [60, 180, 420, 900]
+NUM_NODES = 30
+
+
+def test_fig10_reconciliation_rate(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig10,
+        workloads_tx_per_minute=WORKLOADS,
+        num_nodes=NUM_NODES,
+        duration_s=30.0,
+    )
+    rows = [
+        (
+            f"{p.tx_per_minute:.0f}",
+            f"{p.reconciliations_per_node_per_min:.1f}",
+            f"{p.failures_per_node_per_min:.1f}",
+            f"{p.failure_fraction:.1%}",
+        )
+        for p in result.points
+    ]
+    print_table(
+        f"Fig. 10 -- sketch reconciliations per node per minute, {NUM_NODES} nodes",
+        ("tx/min", "reconciliations/min", "failures/min", "failure_frac"),
+        rows,
+    )
+    rates = [p.reconciliations_per_node_per_min for p in result.points]
+    # Grows with workload...
+    assert rates[-1] > rates[0]
+    # ...but stays bounded: 3 sync targets/s = 180 base attempts/min; the
+    # partition fallback must keep the decode count the same order of
+    # magnitude, not blow it up.
+    assert rates[-1] < 800
+    # Failures stay a modest fraction of decodes at every workload.
+    assert all(p.failure_fraction < 0.5 for p in result.points)

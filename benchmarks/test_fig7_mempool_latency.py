@@ -1,0 +1,71 @@
+"""Fig. 7: density of per-miner mempool-inclusion latency.
+
+Paper shape: unimodal density, mean ~1.14 s, convergence after interacting
+with 5-6 nodes.
+"""
+
+from benchmarks.conftest import print_table, run_once
+from repro.experiments.fig7_mempool_latency import run_fig7
+
+NUM_NODES = 80
+TX_RATE = 10.0
+
+
+def test_fig7_latency_density(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig7,
+        num_nodes=NUM_NODES,
+        tx_rate_per_s=TX_RATE,
+        workload_duration_s=15.0,
+        drain_s=10.0,
+    )
+    summary = result.summary
+    print_table(
+        f"Fig. 7 -- mempool inclusion latency, {NUM_NODES} nodes @ {TX_RATE} tx/s",
+        ("metric", "seconds"),
+        [
+            ("mean", f"{summary['mean']:.3f}"),
+            ("p50", f"{summary['p50']:.3f}"),
+            ("p90", f"{summary['p90']:.3f}"),
+            ("p99", f"{summary['p99']:.3f}"),
+            ("max", f"{summary['max']:.3f}"),
+            ("samples", int(summary["count"])),
+        ],
+    )
+    coarse = _coarsen(result.density, 8)
+    print_table(
+        "Fig. 7 -- latency density (coarse bins)",
+        ("bin_centre_s", "density"),
+        [(f"{c:.2f}", f"{d:.3f}") for c, d in coarse],
+    )
+    hops = result.hops_summary
+    print_table(
+        "Fig. 7 companion -- reconciliation hops to reach a miner"
+        " (paper: converges after interacting with 5-6 nodes)",
+        ("metric", "hops"),
+        [
+            ("mean", f"{hops['mean']:.2f}"),
+            ("p50", f"{hops['p50']:.1f}"),
+            ("p90", f"{hops['p90']:.1f}"),
+            ("max", f"{hops['max']:.0f}"),
+        ],
+    )
+    # Paper-shape assertions: seconds-scale mean, unimodal-ish with the
+    # mass well before the tail.
+    assert 0.3 < summary["mean"] < 4.0
+    assert summary["p90"] < 3 * summary["mean"] + 1.0
+    assert summary["count"] > 1000
+    # Dissemination stays a handful of pairwise interactions deep.
+    assert 1.0 <= hops["mean"] <= 8.0
+
+
+def _coarsen(density, target_bins):
+    step = max(1, len(density) // target_bins)
+    out = []
+    for i in range(0, len(density), step):
+        chunk = density[i : i + step]
+        centre = sum(c for c, _d in chunk) / len(chunk)
+        avg_density = sum(d for _c, d in chunk) / len(chunk)
+        out.append((centre, avg_density))
+    return out

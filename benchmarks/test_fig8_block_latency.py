@@ -1,0 +1,57 @@
+"""Fig. 8: tx-to-block latency, FIFO vs Highest Fee, plus the size sweep.
+
+Paper shape (left): FIFO ~3 s vs Highest Fee 7-8 s (a ~2.5x mean ratio)
+with "much larger variation, with many low-fee transactions experiencing
+very high latency".  (Right): FIFO latency grows slowly with system size.
+"""
+
+from benchmarks.conftest import print_table, run_once
+from repro.experiments.fig8_block_latency import run_fig8
+
+NUM_NODES = 40
+SIZE_SWEEP = [20, 40, 60]
+
+
+def test_fig8_policies_and_size_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig8,
+        num_nodes=NUM_NODES,
+        size_sweep=SIZE_SWEEP,
+        tx_rate_per_s=5.0,
+        workload_duration_s=60.0,
+    )
+    rows = []
+    for policy in (result.fifo, result.highest_fee):
+        s = policy.summary
+        rows.append(
+            (
+                policy.policy,
+                f"{s['mean']:.2f}",
+                f"{s['p50']:.2f}",
+                f"{s['p90']:.2f}",
+                f"{s['p99']:.2f}",
+                f"{s['std']:.2f}",
+            )
+        )
+    print_table(
+        "Fig. 8 (left) -- tx-to-block latency by policy (seconds)",
+        ("policy", "mean", "p50", "p90", "p99", "std"),
+        rows,
+    )
+    print_table(
+        "Fig. 8 (right) -- FIFO latency vs system size",
+        ("nodes", "mean_s", "p90_s"),
+        [
+            (n, f"{s['mean']:.2f}", f"{s['p90']:.2f}")
+            for n, s in sorted(result.size_sweep.items())
+        ],
+    )
+    fifo, fee = result.fifo.summary, result.highest_fee.summary
+    # Who wins and by roughly what factor (paper: ~2.5x mean, fatter tail).
+    assert fee["mean"] > 1.5 * fifo["mean"]
+    assert fee["std"] > 2 * fifo["std"]
+    assert fee["p99"] > fifo["p99"]
+    # FIFO stays seconds-scale and grows slowly with size.
+    means = [s["mean"] for _n, s in sorted(result.size_sweep.items())]
+    assert means[-1] < 3 * means[0] + 2.0

@@ -1,0 +1,49 @@
+"""Fig. 9: bandwidth overhead of LO vs Flood, PeerReview and Narwhal.
+
+Paper shape: LO is cheapest; Flood >= 4x LO; Narwhal 7-10x LO (while
+beating LO's latency by 1-2 s); PeerReview is by far the most expensive
+(~20x LO in the paper's setup).
+"""
+
+from benchmarks.conftest import print_table, run_once
+from repro.experiments.fig9_bandwidth import run_fig9
+
+NUM_NODES = 60
+TX_RATE = 10.0
+
+
+def test_fig9_bandwidth_comparison(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig9,
+        num_nodes=NUM_NODES,
+        tx_rate_per_s=TX_RATE,
+        workload_duration_s=15.0,
+    )
+    by_protocol = result.by_protocol()
+    rows = [
+        (
+            row.protocol,
+            f"{row.overhead_bytes / 1e6:.2f}",
+            f"{row.overhead_bytes_per_node_per_s / 1e3:.2f}",
+            f"{row.ratio_vs_lo:.1f}x",
+            f"{row.mean_latency_s:.2f}",
+        )
+        for row in result.rows
+    ]
+    print_table(
+        f"Fig. 9 -- bandwidth overhead, {NUM_NODES} nodes @ {TX_RATE} tx/s"
+        " (tx content bytes excluded)",
+        ("protocol", "overhead_MB", "KB/node/s", "vs_LO", "mean_latency_s"),
+        rows,
+    )
+    lo = by_protocol["lo"]
+    flood = by_protocol["flood"]
+    narwhal = by_protocol["narwhal"]
+    peerreview = by_protocol["peerreview"]
+    # The paper's ordering and rough factors.
+    assert flood.overhead_bytes >= 3.5 * lo.overhead_bytes
+    assert narwhal.overhead_bytes > flood.overhead_bytes
+    assert peerreview.overhead_bytes > narwhal.overhead_bytes
+    # Narwhal trades bandwidth for latency: ~1-2 s faster than LO.
+    assert narwhal.mean_latency_s < lo.mean_latency_s

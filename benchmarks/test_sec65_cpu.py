@@ -1,0 +1,43 @@
+"""Section 6.5 CPU rows: naive vs hash-partitioned sketch decoding.
+
+Paper numbers: a 1,000-item difference takes ~10 s to decode naively and
+<100 ms with partitioning (>=100x).  Pure-Python absolute times differ
+(DESIGN.md substitutions); the reproduced quantity is the speedup, which
+grows with the difference size because decode cost is superlinear while
+partitioning pins every decode at the per-sketch capacity.  The benchmark
+runs a scaled-down difference to stay minutes-friendly; pass a larger
+``difference`` to repro.experiments.sec65_cpu.run_cpu_comparison to
+approach the paper's 1,000-item row.
+"""
+
+from benchmarks.conftest import print_table, run_once
+from repro.experiments.sec65_cpu import run_cpu_comparison
+
+DIFFERENCE = 128
+PARTITION_CAPACITY = 16
+
+
+def test_sec65_decode_speedup(benchmark):
+    result = run_once(
+        benchmark,
+        run_cpu_comparison,
+        difference=DIFFERENCE,
+        partition_capacity=PARTITION_CAPACITY,
+    )
+    print_table(
+        "Sec. 6.5 -- sketch decode cost, naive vs hash-partitioned",
+        ("difference", "naive_s", "partitioned_s", "speedup", "sketches"),
+        [
+            (
+                result.difference,
+                f"{result.naive_seconds:.3f}",
+                f"{result.partitioned_seconds:.3f}",
+                f"{result.speedup:.1f}x",
+                result.partitioned_sketches,
+            )
+        ],
+    )
+    # Partitioning must deliver a substantial speedup already at this
+    # scaled-down difference; the ratio grows with the difference size.
+    assert result.speedup > 2.0
+    assert result.partitioned_sketches > 1

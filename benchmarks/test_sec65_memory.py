@@ -1,0 +1,47 @@
+"""Section 6.5 memory rows: commitment sizes vs workload.
+
+Paper numbers: ~1.17 KB commitments at 120 tx/min growing to ~9.36 KB at
+24,000 tx/min; ~87 MB to store one commitment per member of a 10,000-node
+network; ~10 MB additional storage at 10,000 nodes / 20 tx/s.  The
+reproduced shape: commitment size grows sub-linearly with workload (the
+sketch adapts to the clock-estimated difference) and stays kilobyte-scale,
+making the 10,000-node extrapolation tens of megabytes.
+"""
+
+from benchmarks.conftest import print_table, run_once
+from repro.experiments.sec65_memory import run_memory_sweep
+
+WORKLOADS = [120, 360, 900]
+NUM_NODES = 20
+
+
+def test_sec65_commitment_memory(benchmark):
+    result = run_once(
+        benchmark,
+        run_memory_sweep,
+        workloads_tx_per_minute=WORKLOADS,
+        num_nodes=NUM_NODES,
+        duration_s=20.0,
+    )
+    rows = [
+        (
+            f"{p.tx_per_minute:.0f}",
+            f"{p.avg_commitment_bytes:.0f}",
+            f"{p.max_commitment_bytes}",
+            f"{p.per_neighbor_store_bytes / 1e3:.2f}",
+            f"{p.extrapolated_10k_nodes_mb:.1f}",
+        )
+        for p in result.points
+    ]
+    print_table(
+        "Sec. 6.5 -- commitment sizes vs workload",
+        ("tx/min", "avg_B", "max_B", "8-neighbor_KB", "10k-node_MB"),
+        rows,
+    )
+    sizes = [p.avg_commitment_bytes for p in result.points]
+    # Kilobyte-scale commitments that grow with workload.
+    assert 150 < sizes[0] < 4000
+    assert sizes[-1] >= sizes[0]
+    # The paper's headline: storing commitments for a whole 10,000-node
+    # network stays double-digit megabytes.
+    assert all(p.extrapolated_10k_nodes_mb < 90 for p in result.points)

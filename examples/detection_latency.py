@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Detection latency under colluding censors (the Fig. 6 experiment).
+
+Sweeps the fraction of colluding malicious miners (censoring transactions,
+dropping blame gossip, and equivocating when they respond) and reports how
+long it takes for every correct node to (a) suspect and (b) hold a
+verifiable exposure of every attacker.
+
+Run:  python examples/detection_latency.py
+"""
+
+from repro.experiments.fig6_detection import run_fig6
+
+
+def main() -> None:
+    print("Fig. 6 reproduction: detection time vs fraction of colluding censors")
+    print("(50 nodes; attackers ignore requests, drop blames, equivocate)\n")
+    result = run_fig6(num_nodes=50, fractions=[0.1, 0.2, 0.3, 0.4])
+    header = (
+        f"{'malicious':>10} {'first_exposure':>15} {'exposure_all':>13}"
+        f" {'spread':>7} {'suspicion_all':>14}"
+    )
+    print(header)
+    print("-" * len(header))
+    for p in result.points:
+        print(
+            f"{p.malicious_fraction:>10.0%}"
+            f" {p.first_exposure_at:>14.2f}s"
+            f" {p.exposure_convergence_at:>12.2f}s"
+            f" {p.exposure_spread_s:>6.2f}s"
+            f" {p.suspicion_convergence_at:>13.2f}s"
+        )
+    print(
+        "\npaper shape: exposure convergence lands ~6-7 s after the first"
+        "\ndetection and degrades mildly with more colluders; suspicion is"
+        "\nslower because it waits on the 1 s timeout x 3 retries."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro: reproduction of "LO: An Accountable Mempool for MEV Resistance".
+
+Middleware 2023, Nasrulin, Ishmaev, Decouchant & Pouwelse
+(DOI 10.1145/3590140.3629108).
+
+Quick start::
+
+    from repro.experiments.harness import LOSimulation, SimulationParams
+
+    sim = LOSimulation(SimulationParams(num_nodes=50, seed=7))
+    sim.inject_workload(rate_per_s=5.0, duration_s=10.0)
+    sim.run(15.0)
+    print(sim.mempool_tracker.all_latencies()[:5])
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the mapping
+to the paper's tables and figures.
+"""
+
+from repro.core import LOConfig, LONode
+
+__version__ = "1.0.0"
+
+__all__ = ["LOConfig", "LONode", "__version__"]

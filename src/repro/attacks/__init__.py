@@ -1,0 +1,45 @@
+"""Faulty-miner implementations (sections 2.2, 3.1, 5.3).
+
+Each attacker subclasses :class:`~repro.core.node.LONode` and deviates in
+exactly one dimension, so experiments can attribute effects to a single
+manipulation primitive:
+
+* :class:`CensoringNode` -- mempool censorship: ignores reconciliation
+  requests and/or refuses to commit targeted transactions; also able to
+  drop blame traffic to hinder detection (the section 6.2 adversary).
+* :class:`EquivocatingNode` -- maintains forked commitment histories and
+  shows different forks to different peers.
+* :class:`InjectingNode` -- block injection: puts uncommitted transactions
+  at the front of its blocks.
+* :class:`ReorderingNode` -- block re-ordering: fills its blocks in fee
+  order instead of the canonical order.
+* :class:`BlockspaceCensorNode` -- blockspace censorship: silently omits
+  committed transactions from its blocks.
+* :mod:`repro.attacks.collusion` -- off-channel transaction sharing between
+  colluding miners, and the commitment-chain tracing that implicates them.
+"""
+
+from repro.attacks.censorship import CensoringNode, make_censor_factory
+from repro.attacks.equivocation import EquivocatingNode
+from repro.attacks.blockattacks import (
+    BlockspaceCensorNode,
+    InjectingNode,
+    ReorderingNode,
+    make_block_attacker_factory,
+)
+from repro.attacks.collusion import OffChannelNode, trace_commitment_chain
+from repro.attacks.degraded import SlowNode, SpamClientNode
+
+__all__ = [
+    "BlockspaceCensorNode",
+    "CensoringNode",
+    "EquivocatingNode",
+    "InjectingNode",
+    "OffChannelNode",
+    "ReorderingNode",
+    "SlowNode",
+    "SpamClientNode",
+    "make_block_attacker_factory",
+    "make_censor_factory",
+    "trace_commitment_chain",
+]

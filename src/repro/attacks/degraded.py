@@ -1,0 +1,82 @@
+"""Degraded-but-not-Byzantine behaviours: slow nodes and spam.
+
+These are the accuracy stress cases rather than manipulation attacks:
+
+* :class:`SlowNode` -- a *correct* node whose responses are delayed close
+  to (or beyond) the suspicion timeout.  Accountability's *temporal
+  accuracy* demands it is never perpetually suspected and its *no false
+  positives* property demands it is never exposed (section 3.2).
+* :class:`SpamClientNode` -- a miner whose "clients" submit invalid
+  transactions (bad signatures) and low-fee dust.  Stage-I/II
+  prevalidation must keep invalid content out of commitments entirely, and
+  the fee threshold keeps dust out of blocks without breaking inspection
+  (the exclusion rules are deterministic, so all inspectors agree).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.node import LONode
+from repro.mempool.transaction import Transaction, make_transaction
+from repro.net.message import Message
+
+
+class SlowNode(LONode):
+    """A correct node that processes every message after an extra delay.
+
+    ``extra_delay_s`` is applied on the receive path, which models slow
+    hardware / an overloaded event loop rather than network latency.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.extra_delay_s = 0.8
+
+    def on_message(self, message: Message) -> None:
+        self.loop.call_later(
+            self.extra_delay_s, super().on_message, message
+        )
+
+
+class SpamClientNode(LONode):
+    """A miner fed by misbehaving clients.
+
+    ``spam_invalid`` submits transactions with corrupted signatures (must
+    be rejected at prevalidation and never committed); ``spam_dust``
+    submits valid transactions below the fee threshold (committed --
+    inclusion of all *valid* transactions -- but excluded from blocks).
+    """
+
+    def spam_invalid(self, count: int = 5) -> int:
+        """Inject forged transactions; returns how many were accepted."""
+        accepted = 0
+        for _ in range(count):
+            self._nonce += 1
+            tx = make_transaction(
+                self.keypair, self._nonce, fee=50, created_at=self.now
+            )
+            forged = Transaction(
+                sender=tx.sender,
+                nonce=tx.nonce,
+                fee=tx.fee + 1,            # fee mismatch breaks the signature
+                size_bytes=tx.size_bytes,
+                created_at=tx.created_at,
+                payload=tx.payload,
+                signature=tx.signature,
+            )
+            if self.receive_client_transaction(forged):
+                accepted += 1
+        return accepted
+
+    def spam_dust(self, count: int = 5, fee: int = 0) -> list:
+        """Inject valid-but-dust transactions; returns their objects."""
+        dust = []
+        for _ in range(count):
+            self._nonce += 1
+            tx = make_transaction(
+                self.keypair, self._nonce, fee=fee, created_at=self.now
+            )
+            self.receive_client_transaction(tx)
+            dust.append(tx)
+        return dust

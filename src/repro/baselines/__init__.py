@@ -1,0 +1,33 @@
+"""Baseline mempool protocols for the Fig. 9 bandwidth comparison.
+
+Section 6.4 compares LO against:
+
+* **Flood** -- "the standard mempool exchange method where miners relay a
+  'Mempool' message listing their current transaction hashes.  Receivers
+  subsequently request any transactions they don't recognize."
+* **PeerReview** (Haeberlen et al., SOSP 2007) -- "a universal
+  accountability protocol, where each miner maintains a message log, with
+  eight random witnesses assigned per miner.  These witnesses periodically
+  retrieve and review miners' logs."
+* **Narwhal** (Danezis et al., EuroSys 2022) -- "a DAG-based mempool
+  protocol ... each node creates batches of recent transactions every 0.5
+  seconds and reliably broadcasts them.  A batch, upon receiving
+  acknowledgments from over two-thirds of the network, is then incorporated
+  into a header.  The header is broadcast to the network."
+
+All three run on the same simulator, topology and workload as LO; overhead
+accounting likewise excludes transaction content bytes.
+"""
+
+from repro.baselines.common import BaseMempoolNode, BaselineSimulation
+from repro.baselines.flood import FloodNode
+from repro.baselines.peerreview import PeerReviewNode
+from repro.baselines.narwhal import NarwhalNode
+
+__all__ = [
+    "BaseMempoolNode",
+    "BaselineSimulation",
+    "FloodNode",
+    "NarwhalNode",
+    "PeerReviewNode",
+]

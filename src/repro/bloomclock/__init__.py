@@ -1,0 +1,14 @@
+"""Bloom Clock: probabilistic partial order and difference pre-filter.
+
+Paper section 4.2: "The Bloom Clock is a space-efficient probabilistic data
+structure used to order events in distributed systems [Ramabaja 2019].  It
+is implemented as a counting Bloom filter, where each item signifies a
+mempool transaction.  Items are hashed and placed into one of the m cells,
+each containing an integer counter."  LO combines it with Minisketch: cells
+whose counters disagree flag the subsets that actually need sketch
+reconciliation, and the cell-count gap estimates the difference size.
+"""
+
+from repro.bloomclock.clock import BloomClock, ClockComparison
+
+__all__ = ["BloomClock", "ClockComparison"]

@@ -1,0 +1,15 @@
+"""Block and ledger substrate; consensus is modelled as random leadership.
+
+Stage IV (block settlement) is explicitly out of scope for LO: "We model
+miner selection as a random process, where a selected miner builds its
+block and sends it to other miners" (section 2.3).  This package provides
+exactly that substrate: block objects, a hash-linked ledger, and a Poisson
+leader-election process with configurable mean block time (12 s in the
+Fig. 8 experiment, Ethereum's block time).
+"""
+
+from repro.chain.block import Block, block_order_seed
+from repro.chain.ledger import Ledger
+from repro.chain.leader import LeaderSchedule
+
+__all__ = ["Block", "Ledger", "LeaderSchedule", "block_order_seed"]

@@ -1,0 +1,273 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro run   --nodes 40 --rate 10 --duration 20 --blocks
+    python -m repro fig6  --nodes 50 --fractions 0.1 0.2 0.3
+    python -m repro fig7  --nodes 80 --rate 20
+    python -m repro fig8  --nodes 40 --sizes 20 40 60
+    python -m repro fig9  --nodes 60
+    python -m repro fig10 --workloads 60 180 420
+    python -m repro memory --workloads 120 600
+    python -m repro cpu   --difference 128
+
+Every subcommand accepts ``--json PATH`` to dump the raw result object.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from typing import List, Optional
+
+from repro.metrics.reporting import format_table, write_json
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--json", type=str, default=None,
+                        help="write the raw result object to this file")
+
+
+def _emit(result, args, label: str) -> None:
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as stream:
+            write_json(result, stream, label=label)
+        print(f"[json written to {args.json}]")
+
+
+# ---------------------------------------------------------------- commands
+
+
+def cmd_run(args) -> int:
+    from repro.core.config import LOConfig
+    from repro.experiments.harness import LOSimulation, SimulationParams
+
+    sim = LOSimulation(
+        SimulationParams(
+            num_nodes=args.nodes,
+            seed=args.seed,
+            config=LOConfig(),
+            enable_blocks=args.blocks,
+        )
+    )
+    count = sim.inject_workload(rate_per_s=args.rate, duration_s=args.duration)
+    sim.run(args.duration + args.drain)
+    latencies = sim.mempool_tracker.all_latencies()
+    rows = [
+        ("nodes", args.nodes),
+        ("transactions", count),
+        ("mean mempool latency (s)",
+         f"{statistics.mean(latencies):.2f}" if latencies else "n/a"),
+        ("chain height", sim.nodes[0].ledger.height if args.blocks else "off"),
+        ("overhead (MB)", f"{sim.total_overhead_bytes() / 1e6:.2f}"),
+        ("exposures", sum(len(n.acct.exposed) for n in sim.nodes.values())),
+    ]
+    print(format_table(("metric", "value"), rows))
+    return 0
+
+
+def cmd_fig6(args) -> int:
+    from repro.experiments.fig6_detection import run_fig6
+
+    result = run_fig6(num_nodes=args.nodes, fractions=args.fractions,
+                      seed=args.seed)
+    rows = [
+        (
+            f"{p.malicious_fraction:.0%}",
+            p.num_malicious,
+            _s(p.suspicion_convergence_at),
+            _s(p.exposure_convergence_at),
+            _s(p.exposure_spread_s),
+        )
+        for p in result.points
+    ]
+    print(format_table(
+        ("malicious", "count", "suspicion_s", "exposure_s", "spread_s"), rows
+    ))
+    _emit(result, args, "fig6")
+    return 0
+
+
+def cmd_fig7(args) -> int:
+    from repro.experiments.fig7_mempool_latency import run_fig7
+
+    result = run_fig7(num_nodes=args.nodes, tx_rate_per_s=args.rate,
+                      workload_duration_s=args.duration, seed=args.seed)
+    rows = [(k, f"{v:.3f}") for k, v in result.summary.items()]
+    print(format_table(("metric", "value"), rows))
+    _emit(result, args, "fig7")
+    return 0
+
+
+def cmd_fig8(args) -> int:
+    from repro.experiments.fig8_block_latency import run_fig8
+
+    result = run_fig8(num_nodes=args.nodes, size_sweep=args.sizes,
+                      tx_rate_per_s=args.rate,
+                      workload_duration_s=args.duration, seed=args.seed)
+    rows = []
+    for policy in (result.fifo, result.highest_fee):
+        s = policy.summary
+        rows.append((policy.policy, f"{s['mean']:.2f}", f"{s['p50']:.2f}",
+                     f"{s['p90']:.2f}", f"{s['p99']:.2f}", f"{s['std']:.2f}"))
+    print(format_table(("policy", "mean", "p50", "p90", "p99", "std"), rows))
+    if result.size_sweep:
+        print()
+        print(format_table(
+            ("nodes", "fifo_mean_s"),
+            [(n, f"{s['mean']:.2f}") for n, s in sorted(result.size_sweep.items())],
+        ))
+    _emit(result, args, "fig8")
+    return 0
+
+
+def cmd_fig9(args) -> int:
+    from repro.experiments.fig9_bandwidth import run_fig9
+
+    result = run_fig9(num_nodes=args.nodes, tx_rate_per_s=args.rate,
+                      workload_duration_s=args.duration, seed=args.seed)
+    rows = [
+        (r.protocol, f"{r.overhead_bytes / 1e6:.2f}",
+         f"{r.ratio_vs_lo:.1f}x", f"{r.mean_latency_s:.2f}")
+        for r in result.rows
+    ]
+    print(format_table(("protocol", "overhead_MB", "vs_LO", "latency_s"), rows))
+    _emit(result, args, "fig9")
+    return 0
+
+
+def cmd_fig10(args) -> int:
+    from repro.experiments.fig10_reconciliations import run_fig10
+
+    result = run_fig10(workloads_tx_per_minute=args.workloads,
+                       num_nodes=args.nodes, duration_s=args.duration,
+                       seed=args.seed)
+    rows = [
+        (f"{p.tx_per_minute:.0f}",
+         f"{p.reconciliations_per_node_per_min:.1f}",
+         f"{p.failure_fraction:.1%}")
+        for p in result.points
+    ]
+    print(format_table(("tx/min", "recon/node/min", "failure_frac"), rows))
+    _emit(result, args, "fig10")
+    return 0
+
+
+def cmd_memory(args) -> int:
+    from repro.experiments.sec65_memory import run_memory_sweep
+
+    result = run_memory_sweep(workloads_tx_per_minute=args.workloads,
+                              num_nodes=args.nodes,
+                              duration_s=args.duration, seed=args.seed)
+    rows = [
+        (f"{p.tx_per_minute:.0f}", f"{p.avg_commitment_bytes:.0f}",
+         f"{p.extrapolated_10k_nodes_mb:.1f}")
+        for p in result.points
+    ]
+    print(format_table(("tx/min", "avg_commitment_B", "10k_nodes_MB"), rows))
+    _emit(result, args, "memory")
+    return 0
+
+
+def cmd_cpu(args) -> int:
+    from repro.experiments.sec65_cpu import run_cpu_comparison
+
+    result = run_cpu_comparison(difference=args.difference,
+                                partition_capacity=args.capacity,
+                                seed=args.seed)
+    rows = [(result.difference, f"{result.naive_seconds:.3f}",
+             f"{result.partitioned_seconds:.3f}", f"{result.speedup:.1f}x")]
+    print(format_table(
+        ("difference", "naive_s", "partitioned_s", "speedup"), rows
+    ))
+    _emit(result, args, "cpu")
+    return 0
+
+
+def _s(value: Optional[float]) -> str:
+    return "n/a" if value is None else f"{value:.2f}"
+
+
+# ------------------------------------------------------------------ parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LO accountable-mempool reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="run a plain LO network")
+    p.add_argument("--nodes", type=int, default=30)
+    p.add_argument("--rate", type=float, default=10.0)
+    p.add_argument("--duration", type=float, default=20.0)
+    p.add_argument("--drain", type=float, default=10.0)
+    p.add_argument("--blocks", action="store_true")
+    _add_common(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("fig6", help="detection times vs malicious fraction")
+    p.add_argument("--nodes", type=int, default=50)
+    p.add_argument("--fractions", type=float, nargs="+",
+                   default=[0.1, 0.2, 0.3])
+    _add_common(p)
+    p.set_defaults(func=cmd_fig6)
+
+    p = sub.add_parser("fig7", help="mempool inclusion latency density")
+    p.add_argument("--nodes", type=int, default=80)
+    p.add_argument("--rate", type=float, default=20.0)
+    p.add_argument("--duration", type=float, default=20.0)
+    _add_common(p)
+    p.set_defaults(func=cmd_fig7)
+
+    p = sub.add_parser("fig8", help="FIFO vs Highest-Fee block latency")
+    p.add_argument("--nodes", type=int, default=40)
+    p.add_argument("--rate", type=float, default=5.0)
+    p.add_argument("--duration", type=float, default=60.0)
+    p.add_argument("--sizes", type=int, nargs="*", default=[])
+    _add_common(p)
+    p.set_defaults(func=cmd_fig8)
+
+    p = sub.add_parser("fig9", help="bandwidth overhead across protocols")
+    p.add_argument("--nodes", type=int, default=60)
+    p.add_argument("--rate", type=float, default=10.0)
+    p.add_argument("--duration", type=float, default=15.0)
+    _add_common(p)
+    p.set_defaults(func=cmd_fig9)
+
+    p = sub.add_parser("fig10", help="reconciliations per minute vs workload")
+    p.add_argument("--nodes", type=int, default=40)
+    p.add_argument("--duration", type=float, default=30.0)
+    p.add_argument("--workloads", type=float, nargs="+",
+                   default=[60, 180, 420])
+    _add_common(p)
+    p.set_defaults(func=cmd_fig10)
+
+    p = sub.add_parser("memory", help="commitment sizes vs workload")
+    p.add_argument("--nodes", type=int, default=30)
+    p.add_argument("--duration", type=float, default=30.0)
+    p.add_argument("--workloads", type=float, nargs="+",
+                   default=[120, 600])
+    _add_common(p)
+    p.set_defaults(func=cmd_memory)
+
+    p = sub.add_parser("cpu", help="naive vs partitioned decode timing")
+    p.add_argument("--difference", type=int, default=128)
+    p.add_argument("--capacity", type=int, default=16)
+    _add_common(p)
+    p.set_defaults(func=cmd_cpu)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

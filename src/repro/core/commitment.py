@@ -1,0 +1,314 @@
+"""Signed mempool commitments and per-peer commitment tracking.
+
+A commitment "acts as a cryptographic verification of the incorporated
+mempool transactions" and "comprises both the miner's Bloom Clock and
+Minisketch" (section 4.2).  Commitments are append-only: each reconciling
+interaction appends a *bundle* (an ordered batch of newly observed
+transaction ids) to the signer's log, and the commitment header at sequence
+``n`` binds the entire bundle history up to ``n`` through a digest chain.
+
+Two signed headers from the same signer are *consistent* iff one's digest
+chain is a prefix of the other's.  Inconsistency is transferable proof of
+misbehaviour (equivocation / history rewriting) -- the evidence behind
+Alg. 1 line 31's exposure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bloomclock import BloomClock
+from repro.crypto.hashing import sha256
+from repro.crypto.keys import KeyPair, PublicKey, verify
+
+# Wire cost of a commitment header: bloom clock (68 B at 32 cells) + seq
+# counter (8) + chained digest (32) + tx count (4) + signature (64).
+def header_wire_size(clock_cells: int = 32) -> int:
+    """Bytes a commitment header occupies on the wire."""
+    return (2 * clock_cells + 4) + 8 + 32 + 4 + 64
+
+
+def bundle_digest(ids: Sequence[int]) -> bytes:
+    """Digest of one bundle's id *set*.
+
+    Bundles order transactions at bundle granularity only ("commitment is
+    recorded on a whole transaction bundle", section 1); the order inside a
+    bundle is canonicalised by the deterministic shuffle at block-building
+    time, so the digest sorts ids to be representation-independent.
+    """
+    return sha256(b",".join(str(i).encode() for i in sorted(ids)))
+
+
+def chain_digest(prev: bytes, bundle: bytes) -> bytes:
+    """Extend the commitment digest chain by one bundle."""
+    return sha256(prev + bundle)
+
+
+GENESIS_DIGEST = b"\x00" * 32
+
+
+def sketch_history_consistent(
+    older_sketch, newer_sketch, older_count: int, newer_count: int
+) -> bool:
+    """Section 5.2's Minisketch-based commitment consistency check.
+
+    "When a node has two commitments, it can easily detect any
+    inconsistency between the previous commitment n and the latest
+    commitment n+1 by reconciling two Minisketches."
+
+    An append-only history can only *add* items, so the decoded symmetric
+    difference between the two sketches must consist purely of additions:
+    its size must equal ``newer_count - older_count`` exactly.  Any
+    removal (hiding a previously committed transaction) inflates the
+    difference beyond the count delta -- even when paired with a fresh
+    addition to keep the counts plausible -- and a decode failure on
+    honestly-sized histories is itself suspicious.
+
+    Returns True when the pair is consistent; False on proof of a
+    non-append-only history.  Raises
+    :class:`~repro.sketch.SketchDecodeError` when the difference exceeds
+    the sketch capacity (the caller falls back to the digest-chain check).
+    """
+    delta = newer_count - older_count
+    if delta < 0:
+        return False  # histories cannot shrink
+    difference = (older_sketch ^ newer_sketch).decode()
+    return len(difference) == delta
+
+
+@dataclass(frozen=True)
+class BundleInfo:
+    """One committed bundle: its ids (in order) and provenance.
+
+    Provenance records where the bundle's transactions were learned from
+    (``source_peer`` is None for locally created transactions) -- this is
+    the "commitment chain" that section 5.3's collusion tracing follows
+    from a block back to a transaction's creator.
+    """
+
+    index: int
+    ids: Tuple[int, ...]
+    source_peer: Optional[int]
+    committed_at: float
+
+    @property
+    def digest(self) -> bytes:
+        return bundle_digest(self.ids)
+
+
+@dataclass(frozen=True)
+class CommitmentHeader:
+    """A signed, self-contained commitment at one sequence number.
+
+    ``digests`` is the full bundle digest chain (one entry per bundle); the
+    signature covers the chain tip, the clock and the count, so any two
+    headers from one signer can be checked for prefix consistency offline.
+    """
+
+    signer: PublicKey
+    seq: int                      # number of committed bundles
+    tx_count: int                 # total committed transaction ids
+    digests: Tuple[bytes, ...]    # cumulative digest chain, len == seq
+    clock: BloomClock
+    signature: bytes = b""
+
+    def signing_bytes(self) -> bytes:
+        tip = self.digests[-1] if self.digests else GENESIS_DIGEST
+        return b"|".join(
+            (
+                b"lo-commitment",
+                self.signer.raw,
+                str(self.seq).encode(),
+                str(self.tx_count).encode(),
+                tip,
+                self.clock.serialize(),
+            )
+        )
+
+    def signature_valid(self) -> bool:
+        """Verify the signer's signature."""
+        return verify(self.signer, self.signing_bytes(), self.signature)
+
+    def tip_digest(self) -> bytes:
+        """Chain tip digest (genesis constant at seq 0)."""
+        return self.digests[-1] if self.digests else GENESIS_DIGEST
+
+    @property
+    def has_full_chain(self) -> bool:
+        """Whether interior chain digests are present (vs tip-only wire form).
+
+        Headers decoded from :meth:`from_bytes` carry only the signed tip;
+        prefix/consistency checks need the full chain, which peers exchange
+        on demand.  Signature verification works either way.
+        """
+        return all(len(d) == 32 for d in self.digests)
+
+    def wire_size(self) -> int:
+        """On-wire size (constant-size header; chain is fetched on demand)."""
+        return header_wire_size(self.clock.cells)
+
+    def to_bytes(self) -> bytes:
+        """Wire encoding: signer, seq, count, chain tip, clock, signature.
+
+        Matches :meth:`wire_size`: the digest *chain* is not shipped (the
+        tip commits to it; interior digests travel on demand), so two
+        deserialized headers support signature checks and clock-based
+        consistency checks, while prefix proofs fetch the chain separately.
+        """
+        return b"".join(
+            (
+                self.signer.raw,
+                self.seq.to_bytes(8, "big"),
+                self.tx_count.to_bytes(4, "big"),
+                self.tip_digest(),
+                self.clock.serialize(),
+                self.signature,
+            )
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes, clock_cells: int = 32) -> "CommitmentHeader":
+        """Decode :meth:`to_bytes` output (chain carries only the tip)."""
+        expected = header_wire_size(clock_cells)
+        if len(data) != expected:
+            raise ValueError(f"expected {expected} bytes, got {len(data)}")
+        offset = 0
+        signer = PublicKey(data[offset : offset + 32]); offset += 32
+        seq = int.from_bytes(data[offset : offset + 8], "big"); offset += 8
+        tx_count = int.from_bytes(data[offset : offset + 4], "big"); offset += 4
+        tip = data[offset : offset + 32]; offset += 32
+        clock_len = 2 * clock_cells + 4
+        clock = BloomClock.deserialize(
+            data[offset : offset + clock_len], cells=clock_cells
+        )
+        offset += clock_len
+        signature = data[offset : offset + 64]
+        digests = (tip,) if seq > 0 else ()
+        return cls(
+            signer=signer,
+            seq=seq,
+            tx_count=tx_count,
+            digests=digests if seq <= 1 else (b"",) * (seq - 1) + (tip,),
+            clock=clock,
+            signature=signature,
+        )
+
+    def is_prefix_of(self, other: "CommitmentHeader") -> bool:
+        """Digest-chain prefix test (both headers must share a signer)."""
+        if self.seq > other.seq:
+            return False
+        return tuple(other.digests[: self.seq]) == tuple(self.digests)
+
+    def consistent_with(self, other: "CommitmentHeader") -> bool:
+        """True iff one header extends the other (append-only histories)."""
+        if self.signer != other.signer:
+            raise ValueError("consistency is defined per signer")
+        if self.seq <= other.seq:
+            return self.is_prefix_of(other) and other.clock.dominates(self.clock)
+        return other.is_prefix_of(self) and self.clock.dominates(other.clock)
+
+
+def sign_header(
+    keypair: KeyPair,
+    seq: int,
+    tx_count: int,
+    digests: Sequence[bytes],
+    clock: BloomClock,
+) -> CommitmentHeader:
+    """Create a signed commitment header."""
+    unsigned = CommitmentHeader(
+        signer=keypair.public_key,
+        seq=seq,
+        tx_count=tx_count,
+        digests=tuple(digests),
+        clock=clock.copy(),
+    )
+    signature = keypair.sign(unsigned.signing_bytes())
+    return CommitmentHeader(
+        signer=unsigned.signer,
+        seq=seq,
+        tx_count=tx_count,
+        digests=unsigned.digests,
+        clock=unsigned.clock,
+        signature=signature,
+    )
+
+
+@dataclass(frozen=True)
+class EquivocationEvidence:
+    """Two signed, mutually inconsistent headers from the same signer.
+
+    Verifiable by any third party: both signatures check out and the digest
+    chains are not prefix-ordered (or a clock cell decreased).  This is the
+    transferable proof behind exposures.
+    """
+
+    accused: PublicKey
+    header_a: CommitmentHeader
+    header_b: CommitmentHeader
+
+    def verify(self) -> bool:
+        """Check both signatures and the inconsistency claim."""
+        if self.header_a.signer != self.accused or self.header_b.signer != self.accused:
+            return False
+        if not self.header_a.signature_valid() or not self.header_b.signature_valid():
+            return False
+        return not self.header_a.consistent_with(self.header_b)
+
+
+class CommitmentStore:
+    """All commitments a node has observed from one remote signer.
+
+    Maintains the latest header, a per-seq header index for equivocation
+    detection, and the observer's reconstruction of the signer's committed
+    id set (populated through reconciliation), which Alg. 1 needs for the
+    ``C_i \\ C_hat_j`` test.
+    """
+
+    def __init__(self, signer: PublicKey):
+        self.signer = signer
+        self.latest: Optional[CommitmentHeader] = None
+        self.by_seq: Dict[int, CommitmentHeader] = {}
+        self.known_ids: set = set()
+        self.bundles: List[BundleInfo] = []  # when the full log was shared
+
+    def observe(
+        self, header: CommitmentHeader
+    ) -> Optional[EquivocationEvidence]:
+        """Record a header; returns evidence when it conflicts with history.
+
+        Conflicts: same seq, different digest chain; or any stored header
+        that fails the prefix/clock consistency test against the new one.
+        A conflicting header is *not* stored (the first one stands as our
+        view), but both are embedded in the returned evidence.
+        """
+        if header.signer != self.signer:
+            raise ValueError("header from a different signer")
+        existing = self.by_seq.get(header.seq)
+        if existing is not None and existing.digests != header.digests:
+            return EquivocationEvidence(self.signer, existing, header)
+        for stored in self._anchors():
+            if not stored.consistent_with(header):
+                return EquivocationEvidence(self.signer, stored, header)
+        self.by_seq[header.seq] = header
+        if self.latest is None or header.seq > self.latest.seq:
+            self.latest = header
+        return None
+
+    def _anchors(self) -> List[CommitmentHeader]:
+        """Headers used for consistency checks (latest plus the extremes)."""
+        if not self.by_seq:
+            return []
+        seqs = sorted(self.by_seq)
+        picked = {seqs[0], seqs[-1]}
+        return [self.by_seq[s] for s in picked]
+
+    def record_ids(self, ids: Sequence[int]) -> None:
+        """Extend the local reconstruction of the signer's committed ids."""
+        self.known_ids.update(ids)
+
+    @property
+    def seq(self) -> int:
+        """Latest observed sequence number (0 when nothing observed)."""
+        return self.latest.seq if self.latest is not None else 0

@@ -1,0 +1,1025 @@
+"""The LO node: Alg. 1, accountability, block building and inspection.
+
+Wire protocol (message types on the simulated network):
+
+==================  =======================================================
+``lo/sync_req``     :class:`~repro.core.reconciliation.SyncRequest`
+``lo/sync_resp``    :class:`~repro.core.reconciliation.SyncResponse`
+``lo/content_req``  :class:`~repro.core.reconciliation.ContentRequest`
+``lo/content_resp`` :class:`~repro.core.reconciliation.ContentResponse`
+                    (transaction payload; excluded from overhead accounting)
+``lo/suspicion``    :class:`~repro.core.accountability.SuspicionBlame`
+``lo/exposure``     :class:`~repro.core.accountability.ExposureBlame`
+``lo/commit_upd``   :class:`~repro.core.commitment.CommitmentHeader` relay
+``lo/block``        :class:`~repro.core.reconciliation.BlockAnnounce`
+``lo/block_req``    missing-ancestor fetch (rejoin catch-up), height int
+``lo/client_submit``:class:`~repro.mempool.Transaction` from a light client
+``lo/submit_ack``   :class:`~repro.core.client.SubmitAck` back to the client
+``lo/status_query`` (client_id, sketch_id) status probe
+``lo/status_reply`` :class:`~repro.core.client.StatusReply`
+==================  =======================================================
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.bloomclock import BloomClock
+from repro.chain.block import Block
+from repro.chain.ledger import Ledger
+from repro.core.accountability import (
+    AccountabilityState,
+    BlockViolationEvidence,
+    ExposureBlame,
+    SuspicionBlame,
+)
+from repro.core.blockbuilder import BlockBuilder
+from repro.core.commitment import (
+    BundleInfo,
+    CommitmentHeader,
+    GENESIS_DIGEST,
+    bundle_digest,
+    chain_digest,
+    sign_header,
+)
+from repro.core.config import LOConfig
+from repro.core.inspection import BlockInspector, InspectionResult, Violation
+from repro.core.policies import ViolationKind
+from repro.core.reconciliation import (
+    BlockAnnounce,
+    ContentRequest,
+    ContentResponse,
+    SplitSpec,
+    SyncRequest,
+    SyncResponse,
+    adaptive_capacity,
+    decode_difference,
+    ids_for_spec,
+    sketch_for_spec,
+)
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.mempool.transaction import Transaction, make_transaction, prevalidate
+from repro.mempool.txlog import TransactionLog
+from repro.metrics import EventCounter, LatencyTracker
+from repro.net.message import ENVELOPE_BYTES, Message
+from repro.net.network import Endpoint, Network
+from repro.sim.loop import Event, EventLoop
+
+
+class Directory:
+    """Shared node-id <-> public-key mapping (the PKI assumption)."""
+
+    def __init__(self) -> None:
+        self._by_id: Dict[int, PublicKey] = {}
+        self._by_key: Dict[PublicKey, int] = {}
+
+    def register(self, node_id: int, key: PublicKey) -> None:
+        """Record one node's identity."""
+        self._by_id[node_id] = key
+        self._by_key[key] = node_id
+
+    def key_of(self, node_id: int) -> PublicKey:
+        return self._by_id[node_id]
+
+    def id_of(self, key: PublicKey) -> int:
+        return self._by_key[key]
+
+
+class _Session:
+    """Requester-side state for one outstanding sync request."""
+
+    __slots__ = ("peer", "spec", "capacity", "depth", "pushed_counts",
+                 "timer", "acct_id")
+
+    def __init__(self, peer: int, spec: SplitSpec, capacity: int, depth: int,
+                 pushed_counts: Dict[int, int], timer: Event, acct_id: int):
+        self.peer = peer
+        self.spec = spec
+        self.capacity = capacity
+        self.depth = depth
+        self.pushed_counts = pushed_counts  # cell -> own item count in spec
+        self.timer = timer
+        self.acct_id = acct_id
+
+
+class LONode(Endpoint):
+    """One miner running the LO accountable base layer."""
+
+    def __init__(
+        self,
+        node_id: int,
+        loop: EventLoop,
+        network: Network,
+        config: LOConfig,
+        directory: Directory,
+        neighbors: Set[int],
+        rng: random.Random,
+        mempool_tracker: Optional[LatencyTracker] = None,
+        block_tracker: Optional[LatencyTracker] = None,
+        counter: Optional[EventCounter] = None,
+    ):
+        self.node_id = node_id
+        self.loop = loop
+        self.network = network
+        self.config = config
+        self.directory = directory
+        self.neighbors = set(neighbors)
+        self.rng = rng
+        self.keypair = KeyPair.generate(seed=f"lo-node-{node_id}".encode())
+        directory.register(node_id, self.keypair.public_key)
+
+        self.log = TransactionLog(
+            clock_cells=config.clock_cells,
+            sketch_capacity=config.sketch_capacity,
+            sketch_bits=config.sketch_bits,
+        )
+        self.bundles: List[BundleInfo] = []
+        self._digest_chain: List[bytes] = []
+        self._headers_by_seq: Dict[int, CommitmentHeader] = {}
+        self._header_dirty = True
+        self._cached_header: Optional[CommitmentHeader] = None
+
+        self.acct = AccountabilityState(self.keypair.public_key)
+        self.ledger = Ledger()
+        self.builder = BlockBuilder(self.keypair, config)
+        self.inspector = BlockInspector(config)
+
+        self._sessions: Dict[int, _Session] = {}
+        self._content_timers: Dict[int, Event] = {}
+        self._pending_blocks: Dict[int, BlockAnnounce] = {}
+        self._announces_by_height: Dict[int, BlockAnnounce] = {}
+        self._pending_inspections: List[BlockAnnounce] = []
+        self._seen_blocks: Set[bytes] = set()
+        self._seen_suspicions: Set[Tuple] = set()
+        self._relayed_updates: Set[Tuple] = set()
+        self._sync_event: Optional[Event] = None
+        self._nonce = 0
+
+        self.mempool_tracker = mempool_tracker
+        self.block_tracker = block_tracker
+        self.counter = counter
+        self.on_block_created: Optional[Callable[[Block], None]] = None
+        # "fifo" (LO's canonical policy) or "highest_fee" (the Fig. 8
+        # baseline); highest-fee blocks are not canonical and are only used
+        # with inspection-free latency experiments.
+        self.block_policy = "fifo"
+        # Fig. 8's policy-comparison runs disable inspection so that the
+        # deliberately non-canonical baseline blocks do not flood the
+        # network with (correct) exposures mid-measurement.
+        self.inspection_enabled = True
+
+        network.register(self)
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self.keypair.public_key
+
+    @property
+    def seq(self) -> int:
+        """Current commitment sequence number (bundle count)."""
+        return len(self.bundles)
+
+    @property
+    def now(self) -> float:
+        return self.loop.now
+
+    def header(self) -> CommitmentHeader:
+        """The node's current signed commitment header (cached)."""
+        if self._header_dirty or self._cached_header is None:
+            self._cached_header = sign_header(
+                self.keypair,
+                seq=self.seq,
+                tx_count=len(self.log),
+                digests=self._digest_chain,
+                clock=self.log.clock,
+            )
+            self._headers_by_seq[self.seq] = self._cached_header
+            self._header_dirty = False
+        return self._cached_header
+
+    def header_at(self, seq: int) -> Optional[CommitmentHeader]:
+        """Previously signed header at an exact seq, if retained."""
+        if seq == self.seq:
+            return self.header()
+        return self._headers_by_seq.get(seq)
+
+    # ---------------------------------------------------------------- control
+
+    def start(self) -> None:
+        """Begin the periodic NeighborsSync with a random phase."""
+        phase = self.rng.uniform(0, self.config.sync_interval_s)
+        self._sync_event = self.loop.call_later(phase, self._sync_tick)
+
+    def stop(self) -> None:
+        """Stop periodic syncing."""
+        if self._sync_event is not None:
+            self._sync_event.cancel()
+            self._sync_event = None
+
+    # ----------------------------------------------------- transaction entry
+
+    def create_transaction(
+        self, fee: int, size_bytes: int = 250, payload: bytes = b""
+    ) -> Transaction:
+        """Create, sign and commit a new local transaction (stage I)."""
+        self._nonce += 1
+        tx = make_transaction(
+            self.keypair, self._nonce, fee, self.now, size_bytes, payload
+        )
+        self.receive_client_transaction(tx)
+        return tx
+
+    def receive_client_transaction(self, tx: Transaction) -> bool:
+        """Prevalidate and commit a client-submitted transaction.
+
+        Returns False when prevalidation rejects it (it is then neither
+        stored nor committed, exactly the stage-I behaviour).
+        """
+        if not prevalidate(tx):
+            return False
+        if tx.sketch_id in self.log:
+            return False
+        self._commit_bundle([tx.sketch_id], source_peer=None)
+        self.log.add_content(tx, valid=True)
+        if self.mempool_tracker is not None:
+            self.mempool_tracker.record_created(tx.sketch_id, self.now)
+            self.mempool_tracker.record_seen(tx.sketch_id, self.node_id, self.now)
+        if self.block_tracker is not None:
+            self.block_tracker.record_created(tx.sketch_id, self.now)
+        return True
+
+    def _commit_bundle(
+        self, ids: Sequence[int], source_peer: Optional[int]
+    ) -> Optional[BundleInfo]:
+        """Append a bundle of new ids to the commitment log."""
+        fresh = self.log.append_many(ids)
+        if not fresh:
+            return None
+        bundle = BundleInfo(
+            index=self.seq,
+            ids=tuple(fresh),
+            source_peer=source_peer,
+            committed_at=self.now,
+        )
+        self.bundles.append(bundle)
+        prev = self._digest_chain[-1] if self._digest_chain else GENESIS_DIGEST
+        self._digest_chain.append(chain_digest(prev, bundle.digest))
+        self._header_dirty = True
+        return bundle
+
+    # -------------------------------------------------------- NeighborsSync
+
+    def _sync_tick(self) -> None:
+        self._sync_event = self.loop.call_later(
+            self.config.sync_interval_s, self._sync_tick
+        )
+        peers = self._eligible_neighbors()
+        if not peers:
+            return
+        fanout = min(self.config.sync_fanout, len(peers))
+        sampled = self.rng.sample(peers, fanout)
+        for peer in sampled:
+            if self._peer_outdated(peer):
+                self._send_sync_request(peer, spec=None, depth=0)
+            else:
+                # Alg. 1 line 18: the peer is up to date, drop suspicion.
+                peer_key = self.directory.key_of(peer)
+                if self.acct.is_suspected(peer_key):
+                    self.acct.clear_suspicion(peer_key)
+        # Heal content holes: ids committed (possibly second-hand) whose
+        # bytes never arrived are re-requested from a random neighbour.
+        missing = self.log.missing_content()
+        if missing:
+            self._send_content_request(self.rng.choice(sampled), missing[:64])
+        # Heal chain gaps: keep fetching missing ancestor blocks while any
+        # buffered successor is waiting (rejoin catch-up).
+        if self._pending_blocks:
+            self._request_missing_blocks()
+
+    def _eligible_neighbors(self) -> List[int]:
+        """Neighbours that are not exposed (suspected ones are still probed)."""
+        out = []
+        for peer in self.neighbors:
+            key = self.directory.key_of(peer)
+            if not self.acct.is_exposed(key):
+                out.append(peer)
+        return sorted(out)
+
+    def _peer_outdated(self, peer: int) -> bool:
+        """Alg. 1 line 13: do we hold ids the peer has not committed to?"""
+        store = self.acct.store_for(self.directory.key_of(peer))
+        if store.latest is None:
+            return len(self.log) > 0
+        if len(self.log) > len(store.known_ids):
+            return True
+        known = store.known_ids
+        return any(i not in known for i in self.log.order)
+
+    def _flagged_spec(self, peer: int) -> SplitSpec:
+        """Cells that look out of date versus the peer's last known clock."""
+        store = self.acct.store_for(self.directory.key_of(peer))
+        if not self.config.use_clock_prefilter or store.latest is None:
+            return SplitSpec(tuple(range(self.config.clock_cells)))
+        flagged = self.log.clock.flagged_cells(store.latest.clock)
+        if not flagged:
+            # Same counts but our id set may still differ; probe everything.
+            return SplitSpec(tuple(range(self.config.clock_cells)))
+        return SplitSpec(tuple(flagged))
+
+    def _estimate_for(self, peer: int, spec: SplitSpec) -> int:
+        store = self.acct.store_for(self.directory.key_of(peer))
+        if store.latest is None:
+            return len(self.log)
+        return max(1, self.log.clock.estimate_difference(store.latest.clock))
+
+    def _send_sync_request(
+        self, peer: int, spec: Optional[SplitSpec], depth: int,
+        capacity: Optional[int] = None,
+    ) -> None:
+        if spec is None:
+            spec = self._flagged_spec(peer)
+        if capacity is None:
+            if self.config.use_clock_prefilter:
+                capacity = adaptive_capacity(
+                    self._estimate_for(peer, spec), self.config
+                )
+            else:
+                # Without the clock's difference estimate a real
+                # implementation must provision the full worst-case sketch
+                # every round -- that cost is what the ablation measures.
+                capacity = self.config.sketch_capacity
+        sketch = sketch_for_spec(self.log, spec, capacity)
+        request_obj = self.acct.open_request(
+            self.directory.key_of(peer), "sync", (), self.now,
+            self.config.request_retries,
+        )
+        pushed = self._own_counts_for_spec(spec)
+        timer = self.loop.call_later(
+            self.config.request_timeout_s, self._on_sync_timeout,
+            request_obj.request_id,
+        )
+        request = SyncRequest(
+            request_id=request_obj.request_id,
+            header=self.header(),
+            spec=spec,
+            sketch=sketch,
+        )
+        self._sessions[request_obj.request_id] = _Session(
+            peer, spec, capacity, depth, pushed, timer, request_obj.request_id
+        )
+        self._send(peer, "lo/sync_req", request, request.wire_size())
+
+    def _own_counts_for_spec(self, spec: SplitSpec) -> Dict[int, int]:
+        """Per-cell count of our own items inside a spec (coverage check)."""
+        counts: Dict[int, int] = {}
+        for cell in spec.cells:
+            items = self.log.items_in_cells((cell,))
+            counts[cell] = sum(1 for i in items if spec.matches(i))
+        return counts
+
+    # --------------------------------------------------------- msg dispatch
+
+    def on_message(self, message: Message) -> None:
+        handler = {
+            "lo/sync_req": self._handle_sync_request,
+            "lo/sync_resp": self._handle_sync_response,
+            "lo/content_req": self._handle_content_request,
+            "lo/content_resp": self._handle_content_response,
+            "lo/suspicion": self._handle_suspicion,
+            "lo/exposure": self._handle_exposure,
+            "lo/commit_upd": self._handle_commit_update,
+            "lo/block": self._handle_block_announce,
+            "lo/block_req": self._handle_block_request,
+            "lo/client_submit": self._handle_client_submit,
+            "lo/status_query": self._handle_status_query,
+        }.get(message.msg_type)
+        if handler is not None:
+            handler(message)
+
+    def _send(
+        self, peer: int, msg_type: str, payload, body_bytes: int,
+        is_overhead: bool = True,
+    ) -> None:
+        self.network.send(
+            self.node_id, peer, msg_type, payload,
+            wire_bytes=body_bytes + ENVELOPE_BYTES, is_overhead=is_overhead,
+        )
+
+    # --------------------------------------------------- stage I: clients
+
+    def _handle_client_submit(self, message: Message) -> None:
+        """A light client shared a transaction (stage I steps 1-3)."""
+        from repro.core.client import SubmitAck
+
+        tx: Transaction = message.payload
+        accepted = self.receive_client_transaction(tx)
+        if not accepted and tx.sketch_id in self.log:
+            accepted = True  # duplicate submission of a known tx is fine
+        unsigned = SubmitAck(
+            miner=self.public_key, txid=tx.txid, accepted=accepted,
+            at_time=self.now,
+        )
+        ack = SubmitAck(
+            miner=self.public_key, txid=tx.txid, accepted=accepted,
+            at_time=unsigned.at_time,
+            signature=self.keypair.sign(unsigned.signing_bytes()),
+        )
+        self._send(message.sender, "lo/submit_ack", ack, ack.wire_size())
+
+    def _handle_status_query(self, message: Message) -> None:
+        """A client asked for a transaction's status at this miner."""
+        from repro.core.client import StatusReply
+
+        client_id, sketch_id = message.payload
+        if self.ledger.is_settled(sketch_id):
+            status = "settled"
+        elif sketch_id not in self.log:
+            status = "unknown"
+        elif self.log.content_of(sketch_id) is not None:
+            status = "content-held"
+        else:
+            status = "committed"
+        reply = StatusReply(
+            miner=self.public_key, sketch_id=sketch_id, status=status,
+            at_time=self.now,
+        )
+        self._send(client_id, "lo/status_reply", reply, reply.wire_size())
+
+    # ------------------------------------------------- responder: sync_req
+
+    def _handle_sync_request(self, message: Message) -> None:
+        request: SyncRequest = message.payload
+        sender = message.sender
+        self._observe_remote_header(request.header)
+        if self.acct.is_exposed(request.header.signer):
+            return
+        capacity = request.sketch.capacity
+        # Cheap overload pre-check: the Bloom-Clock gap is a lower bound on
+        # the true difference, so a gap beyond the sketch capacity makes the
+        # decode certain to fail -- skip straight to the split reply.
+        cell_gap = sum(
+            abs(self.log.clock.counters[c] - request.header.clock.counters[c])
+            for c in request.spec.cells
+        )
+        if (
+            self.config.use_clock_prefilter
+            and request.spec.bit_level == 0
+            and cell_gap > capacity
+        ):
+            response = SyncResponse(
+                request_id=request.request_id,
+                header=self.header(),
+                status="split",
+                split_specs=request.spec.split(),
+            )
+            self._send(sender, "lo/sync_resp", response, response.wire_size())
+            return
+        local = sketch_for_spec(self.log, request.spec, capacity)
+        if self.counter is not None:
+            self.counter.increment("reconciliations", node=self.node_id)
+        diff = decode_difference(local, request.sketch)
+        if diff is None:
+            if self.counter is not None:
+                self.counter.increment("reconciliation_failures", node=self.node_id)
+            response = SyncResponse(
+                request_id=request.request_id,
+                header=self.header(),
+                status="split",
+                split_specs=request.spec.split(),
+            )
+            self._send(sender, "lo/sync_resp", response, response.wire_size())
+            return
+        new_ids = sorted(i for i in diff if i not in self.log)
+        offered = tuple(sorted(i for i in diff if i in self.log))
+        if new_ids:
+            # Alg. 1 lines 21-23: commit to every previously unknown id, in
+            # a fresh bundle ordered after everything already committed.
+            self._commit_bundle(new_ids, source_peer=sender)
+            if self.mempool_tracker is not None:
+                for sketch_id in new_ids:
+                    self.mempool_tracker.record_seen(
+                        sketch_id, self.node_id, self.now
+                    )
+        response = SyncResponse(
+            request_id=request.request_id,
+            header=self.header(),
+            status="ok",
+            requested_ids=tuple(new_ids),
+            offered_ids=offered,
+        )
+        # After a successful round both parties hold the union over the spec.
+        own_in_spec = set(ids_for_spec(self.log, request.spec))
+        store = self.acct.store_for(request.header.signer)
+        store.record_ids(own_in_spec | set(diff))
+        self._send(sender, "lo/sync_resp", response, response.wire_size())
+
+    # ------------------------------------------------- requester: sync_resp
+
+    def _handle_sync_response(self, message: Message) -> None:
+        response: SyncResponse = message.payload
+        session = self._sessions.get(response.request_id)
+        if session is None:
+            return
+        session.timer.cancel()
+        self._observe_remote_header(response.header)
+        peer_key = self.directory.key_of(session.peer)
+        if self.acct.is_exposed(peer_key):
+            self._sessions.pop(response.request_id, None)
+            self.acct.close_request(session.acct_id)
+            return
+        if response.status == "split":
+            self._sessions.pop(response.request_id, None)
+            self.acct.close_request(session.acct_id)
+            if session.depth >= self.config.partition_max_depth:
+                return
+            for sub_spec in response.split_specs:
+                self._send_sync_request(
+                    session.peer, sub_spec, session.depth + 1, session.capacity
+                )
+            return
+        # Coverage check: the responder's new clock must account for at
+        # least our own items in every flagged cell, otherwise it silently
+        # dropped transactions -- treat as an unanswered request: keep the
+        # session alive and let the timeout/retry/suspect machinery run.
+        if not self._response_covers(session, response.header.clock):
+            self._on_sync_timeout(session.acct_id)
+            return
+        self._sessions.pop(response.request_id, None)
+        self.acct.close_request(session.acct_id)
+        if self.acct.clear_suspicion(peer_key):
+            pass  # responded: no longer suspected (temporal accuracy)
+        # Commit to what the responder offered (ids we lacked).
+        fresh = sorted(i for i in response.offered_ids if i not in self.log)
+        if fresh:
+            self._commit_bundle(fresh, source_peer=session.peer)
+            if self.mempool_tracker is not None:
+                for sketch_id in fresh:
+                    self.mempool_tracker.record_seen(
+                        sketch_id, self.node_id, self.now
+                    )
+        store = self.acct.store_for(peer_key)
+        own_in_spec = set(ids_for_spec(self.log, session.spec))
+        store.record_ids(own_in_spec | set(response.offered_ids))
+        # Ship content the responder asked for; ask for content we lack.
+        self._send_content(session.peer, response.requested_ids)
+        missing = [
+            i for i in response.offered_ids if self.log.content_of(i) is None
+        ]
+        if missing:
+            self._send_content_request(session.peer, missing)
+
+    def _response_covers(self, session: _Session, clock: BloomClock) -> bool:
+        for cell, own_count in session.pushed_counts.items():
+            if clock.counters[cell] < own_count:
+                return False
+        return True
+
+    # ------------------------------------------------------------- content
+
+    def _send_content(self, peer: int, ids: Sequence[int]) -> None:
+        txs = tuple(
+            tx for tx in (self.log.content_of(i) for i in ids) if tx is not None
+        )
+        if not txs:
+            return
+        response = ContentResponse(request_id=-1, txs=txs)
+        self._send(
+            peer, "lo/content_resp", response, response.wire_size(),
+            is_overhead=False,
+        )
+
+    def _send_content_request(self, peer: int, ids: Sequence[int]) -> None:
+        request_obj = self.acct.open_request(
+            self.directory.key_of(peer), "content", tuple(ids), self.now,
+            self.config.request_retries,
+        )
+        request = ContentRequest(request_id=request_obj.request_id, ids=tuple(ids))
+        timer = self.loop.call_later(
+            self.config.request_timeout_s, self._on_content_timeout,
+            request_obj.request_id, peer, tuple(ids),
+        )
+        self._content_timers[request_obj.request_id] = timer
+        self._send(peer, "lo/content_req", request, request.wire_size())
+
+    def _handle_content_request(self, message: Message) -> None:
+        request: ContentRequest = message.payload
+        txs = tuple(
+            tx
+            for tx in (self.log.content_of(i) for i in request.ids)
+            if tx is not None
+        )
+        response = ContentResponse(request_id=request.request_id, txs=txs)
+        self._send(
+            message.sender, "lo/content_resp", response, response.wire_size(),
+            is_overhead=False,
+        )
+
+    def _handle_content_response(self, message: Message) -> None:
+        response: ContentResponse = message.payload
+        if response.request_id >= 0:
+            timer = self._content_timers.pop(response.request_id, None)
+            if timer is not None:
+                timer.cancel()
+            self.acct.close_request(response.request_id)
+            sender_key = self.directory.key_of(message.sender)
+            self.acct.clear_suspicion(sender_key)
+        for tx in response.txs:
+            self._ingest_content(tx)
+        if self._pending_inspections:
+            self._retry_pending_inspections()
+
+    def _ingest_content(self, tx: Transaction) -> None:
+        if tx.sketch_id not in self.log:
+            # Content for an uncommitted id: commit then store (the sender
+            # vouches for it; it will appear in our next commitments).
+            self._commit_bundle([tx.sketch_id], source_peer=None)
+        if tx.sketch_id not in self.log:
+            return  # a (faulty) subclass refused the commitment
+        if self.log.content_of(tx.sketch_id) is not None:
+            return
+        valid = prevalidate(tx)
+        self.log.add_content(tx, valid=valid)
+
+    # ------------------------------------------------------------ timeouts
+
+    def _on_sync_timeout(self, request_id: int) -> None:
+        session = self._sessions.get(request_id)
+        action = self.acct.on_timeout(request_id, self.now)
+        if action is None:
+            if session is not None:
+                self._sessions.pop(request_id, None)
+            return
+        if action == "resend" and session is not None:
+            sketch = sketch_for_spec(self.log, session.spec, session.capacity)
+            request = SyncRequest(
+                request_id=request_id,
+                header=self.header(),
+                spec=session.spec,
+                sketch=sketch,
+                is_retry=True,
+            )
+            session.timer = self.loop.call_later(
+                self.config.request_timeout_s, self._on_sync_timeout, request_id
+            )
+            self._send(session.peer, "lo/sync_req", request, request.wire_size())
+            return
+        if action == "suspect" and session is not None:
+            self._sessions.pop(request_id, None)
+            self._raise_suspicion(session.peer, "sync", ())
+
+    def _on_content_timeout(
+        self, request_id: int, peer: int, ids: Tuple[int, ...]
+    ) -> None:
+        action = self.acct.on_timeout(request_id, self.now)
+        if action is None:
+            self._content_timers.pop(request_id, None)
+            return
+        if action == "resend":
+            request = ContentRequest(request_id=request_id, ids=ids)
+            self._content_timers[request_id] = self.loop.call_later(
+                self.config.request_timeout_s, self._on_content_timeout,
+                request_id, peer, ids,
+            )
+            self._send(peer, "lo/content_req", request, request.wire_size())
+            return
+        if action == "suspect":
+            self._content_timers.pop(request_id, None)
+            self._raise_suspicion(peer, "content", ids)
+
+    # -------------------------------------------------------------- blaming
+
+    def _raise_suspicion(self, peer: int, kind: str, detail: Tuple[int, ...]) -> None:
+        peer_key = self.directory.key_of(peer)
+        if self.acct.is_exposed(peer_key):
+            return
+        store = self.acct.store_for(peer_key)
+        blame = SuspicionBlame(
+            accuser=self.public_key,
+            accused=peer_key,
+            kind=kind,
+            detail=detail,
+            last_known=store.latest,
+            raised_at=self.now,
+        )
+        if self.counter is not None and not self.acct.is_suspected(peer_key):
+            self.counter.increment("suspicions_raised", node=self.node_id)
+        self.acct.adopt_suspicion(blame, self.now)
+        self._gossip_suspicion(blame)
+
+    def _gossip_suspicion(self, blame: SuspicionBlame) -> None:
+        key = (blame.accuser.raw, blame.accused.raw, blame.kind, blame.raised_at)
+        if key in self._seen_suspicions:
+            return
+        self._seen_suspicions.add(key)
+        for peer in self._gossip_peers():
+            self._send(peer, "lo/suspicion", blame, blame.wire_size())
+
+    def _gossip_peers(self) -> List[int]:
+        peers = self._eligible_neighbors()
+        fanout = min(self.config.blame_gossip_fanout, len(peers))
+        return self.rng.sample(peers, fanout) if fanout else []
+
+    def _handle_suspicion(self, message: Message) -> None:
+        blame: SuspicionBlame = message.payload
+        if blame.accused == self.public_key:
+            # We are being suspected: answer publicly by pushing our latest
+            # commitment back through the accuser's path.
+            self._send_commit_update(message.sender)
+            return
+        key = (blame.accuser.raw, blame.accused.raw, blame.kind, blame.raised_at)
+        if key in self._seen_suspicions:
+            return
+        action, header, evidence = self.acct.evaluate_suspicion(blame)
+        if action == "expose" and evidence is not None:
+            self._broadcast_exposure(
+                ExposureBlame(accused=blame.accused, equivocation=evidence)
+            )
+            return
+        if action == "relay" and header is not None:
+            accuser_id = self.directory.id_of(blame.accuser)
+            self._send(accuser_id, "lo/commit_upd", header, header.wire_size())
+        elif action == "investigate":
+            accused_id = self.directory.id_of(blame.accused)
+            self._send_content_request(accused_id, blame.detail)
+        elif (
+            self.config.verify_suspicions_locally
+            and not self.acct.is_suspected(blame.accused)
+            and not self.acct.is_exposed(blame.accused)
+        ):
+            # Fig. 4: verify the hearsay with our own probe; the timeout /
+            # retry machinery turns non-response into our own suspicion.
+            accused_id = self.directory.id_of(blame.accused)
+            self._send_sync_request(accused_id, spec=None, depth=0)
+        else:
+            newly = self.acct.adopt_suspicion(blame, self.now)
+            if newly and self.counter is not None:
+                self.counter.increment("suspicions_adopted", node=self.node_id)
+        self._gossip_suspicion(blame)
+
+    def _send_commit_update(self, peer: int) -> None:
+        header = self.header()
+        self._send(peer, "lo/commit_upd", header, header.wire_size())
+
+    def _handle_commit_update(self, message: Message) -> None:
+        header: CommitmentHeader = message.payload
+        self._observe_remote_header(header)
+        signer = header.signer
+        if self.acct.is_suspected(signer):
+            # The suspected node (or a relay on its behalf) answered.
+            self.acct.clear_suspicion(signer)
+            self.acct.close_requests_to(signer)
+            relay_key = (signer.raw, header.seq)
+            if relay_key not in self._relayed_updates:
+                self._relayed_updates.add(relay_key)
+                for peer in self._gossip_peers():
+                    self._send(peer, "lo/commit_upd", header, header.wire_size())
+
+    def _observe_remote_header(self, header: CommitmentHeader) -> None:
+        evidence = self.acct.observe_header(header)
+        if evidence is not None:
+            self._broadcast_exposure(
+                ExposureBlame(accused=header.signer, equivocation=evidence)
+            )
+
+    def _broadcast_exposure(self, blame: ExposureBlame) -> None:
+        newly = self.acct.expose(blame)
+        if not newly:
+            return
+        if self.counter is not None:
+            self.counter.increment("exposures_adopted", node=self.node_id)
+        for peer in self._gossip_peers():
+            self._send(peer, "lo/exposure", blame, blame.wire_size())
+
+    def _handle_exposure(self, message: Message) -> None:
+        blame: ExposureBlame = message.payload
+        self._broadcast_exposure(blame)
+
+    # --------------------------------------------------------------- blocks
+
+    def on_leader_elected(self) -> None:
+        """Build and announce a block (called by the leader schedule)."""
+        if self._pending_blocks:
+            # We know our chain is behind (buffered successors exist); a
+            # proposal on a stale tip could not be finalised by any
+            # consensus layer, so the slot is skipped.
+            return
+        if self.block_policy == "highest_fee":
+            block = self.builder.build_highest_fee(
+                self.log, self.ledger, created_at=self.now
+            )
+        else:
+            block = self.builder.build(
+                self.log, self.bundles, self.ledger, created_at=self.now
+            )
+        header = self.header_at(block.commit_seq)
+        if header is None:
+            header = self.header()
+        announce = BlockAnnounce(
+            block=block,
+            header=header,
+            bundle_ids=tuple(b.ids for b in self.bundles[: block.commit_seq]),
+        )
+        self.ledger.append(block)
+        self._seen_blocks.add(block.block_hash)
+        self._announces_by_height[block.height] = announce
+        if self.block_tracker is not None:
+            for sketch_id in block.tx_ids:
+                self.block_tracker.record_seen(sketch_id, 0, self.now)
+        if self.on_block_created is not None:
+            self.on_block_created(block)
+        for peer in self._eligible_neighbors():
+            self._send(peer, "lo/block", announce, announce.wire_size(),
+                       is_overhead=False)
+
+    def _handle_block_announce(self, message: Message) -> None:
+        announce: BlockAnnounce = message.payload
+        block: Block = announce.block
+        if block.block_hash in self._seen_blocks:
+            return
+        self._seen_blocks.add(block.block_hash)
+        if not block.signature_valid():
+            return
+        # Forward first: settlement and detection both ride on propagation.
+        for peer in self._eligible_neighbors():
+            if peer != message.sender:
+                self._send(peer, "lo/block", announce, announce.wire_size(),
+                           is_overhead=False)
+        self._settle_or_buffer(announce)
+
+    def _settle_or_buffer(self, announce: BlockAnnounce) -> None:
+        block: Block = announce.block
+        if block.height > self.ledger.height + 1:
+            # Chain gap (e.g. we just rejoined after a crash): buffer and
+            # fetch the missing ancestors from a random neighbour.
+            self._pending_blocks[block.height] = announce
+            self._request_missing_blocks()
+            return
+        settled_before = self.ledger.settled_ids()
+        if not self.ledger.append(block):
+            return
+        self._announces_by_height[block.height] = announce
+        self._inspect_announce(announce, settled_before)
+        # Drain any buffered successor blocks.
+        next_announce = self._pending_blocks.pop(self.ledger.height + 1, None)
+        if next_announce is not None:
+            self._settle_or_buffer(next_announce)
+
+    def _request_missing_blocks(self) -> None:
+        wanted = self.ledger.height + 1
+        buffered = self._pending_blocks.pop(wanted, None)
+        if buffered is not None:
+            # The gap already closed from the buffer side; settle directly.
+            self._settle_or_buffer(buffered)
+            return
+        peers = self._eligible_neighbors()
+        if peers:
+            peer = self.rng.choice(peers)
+            self._send(peer, "lo/block_req", wanted, 8)
+
+    def _handle_block_request(self, message: Message) -> None:
+        height = message.payload
+        announce = self._announces_by_height.get(height)
+        if announce is not None:
+            self._send(
+                message.sender, "lo/block", announce, announce.wire_size(),
+                is_overhead=False,
+            )
+
+    def _inspect_announce(
+        self, announce: BlockAnnounce, settled_before: Set[int]
+    ) -> None:
+        if not self.inspection_enabled:
+            return
+        block: Block = announce.block
+        evidence_ctx = self._verify_announce_context(announce)
+        if not evidence_ctx:
+            # Malformed inspection context: cannot judge, suspect the creator.
+            creator_id = self.directory.id_of(block.creator)
+            self._raise_suspicion(creator_id, "announce", ())
+            return
+        self._observe_remote_header(announce.header)
+        self._check_stale_seq(announce)
+        result = self._run_inspection(announce, settled_before)
+        if not result.conclusive:
+            if result.missing_content:
+                self._pending_inspections.append(announce)
+                self._send_content_request(
+                    self.directory.id_of(block.creator),
+                    result.missing_content[:64],
+                )
+            return
+        if self.counter is not None:
+            self.counter.increment("blocks_inspected", node=self.node_id)
+        for violation in result.violations:
+            evidence = BlockViolationEvidence(
+                accused=block.creator,
+                block=block,
+                header=announce.header,
+                bundle_ids=announce.bundle_ids,
+                violation=violation,
+            )
+            self._broadcast_exposure(
+                ExposureBlame(accused=block.creator, block_violation=evidence)
+            )
+
+    def _check_stale_seq(self, announce: BlockAnnounce) -> None:
+        """Lagging-censorship check: the pinned prefix must be recent.
+
+        A creator that signs ever-newer commitments but pins its blocks to
+        a far older prefix escapes the inclusion policy; any of its signed
+        headers more than STALE_SEQ_SLACK bundles ahead of the pinned seq
+        is transferable proof (policies.py).
+        """
+        from repro.core.policies import STALE_SEQ_SLACK
+
+        block: Block = announce.block
+        store = self.acct.store_for(block.creator)
+        freshest = announce.header
+        if store.latest is not None and store.latest.seq > freshest.seq:
+            freshest = store.latest
+        if freshest.seq - block.commit_seq <= STALE_SEQ_SLACK:
+            return
+        violation = Violation(
+            ViolationKind.STALE_COMMITMENT_SEQ,
+            block.block_hash,
+            f"block pins seq {block.commit_seq} while the creator signed"
+            f" seq {freshest.seq}",
+        )
+        evidence = BlockViolationEvidence(
+            accused=block.creator,
+            block=block,
+            header=freshest,
+            bundle_ids=(),
+            violation=violation,
+        )
+        self._broadcast_exposure(
+            ExposureBlame(accused=block.creator, block_violation=evidence)
+        )
+
+    def _verify_announce_context(self, announce: BlockAnnounce) -> bool:
+        header: CommitmentHeader = announce.header
+        block: Block = announce.block
+        if header.signer != block.creator or not header.signature_valid():
+            return False
+        if header.seq < block.commit_seq or len(announce.bundle_ids) < block.commit_seq:
+            return False
+        digest = GENESIS_DIGEST
+        for index in range(block.commit_seq):
+            digest = chain_digest(digest, bundle_digest(announce.bundle_ids[index]))
+            if header.digests[index] != digest:
+                return False
+        return True
+
+    def _run_inspection(
+        self, announce: BlockAnnounce, settled_before: Set[int]
+    ) -> InspectionResult:
+        block: Block = announce.block
+        bundles = [
+            BundleInfo(index=i, ids=ids, source_peer=None, committed_at=0.0)
+            for i, ids in enumerate(announce.bundle_ids)
+        ]
+        prev_hash = block.prev_hash
+        return self.inspector.inspect(
+            block,
+            bundles,
+            prev_hash,
+            settled_before,
+            content_known=lambda i: self.log.content_of(i) is not None,
+            is_invalid=self.log.is_invalid,
+            fee_of=lambda i: (
+                self.log.content_of(i).fee
+                if self.log.content_of(i) is not None
+                else None
+            ),
+        )
+
+    def _retry_pending_inspections(self) -> None:
+        pending = self._pending_inspections
+        self._pending_inspections = []
+        for announce in pending:
+            block: Block = announce.block
+            height = block.height
+            if height > self.ledger.height:
+                self._pending_inspections.append(announce)
+                continue
+            settled_before: Set[int] = set()
+            for h in range(height):
+                settled_before.update(self.ledger.block_at(h).tx_ids)
+            result = self._run_inspection(announce, settled_before)
+            if not result.conclusive:
+                self._pending_inspections.append(announce)
+                continue
+            for violation in result.violations:
+                evidence = BlockViolationEvidence(
+                    accused=block.creator,
+                    block=block,
+                    header=announce.header,
+                    bundle_ids=announce.bundle_ids,
+                    violation=violation,
+                )
+                self._broadcast_exposure(
+                    ExposureBlame(accused=block.creator, block_violation=evidence)
+                )

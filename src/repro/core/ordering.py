@@ -1,0 +1,76 @@
+"""Verifiable canonical transaction ordering (section 4.3).
+
+"Committed transaction bundles are first assembled following a sequential
+order.  The order inside a bundle is then pseudo-random: transactions are
+shuffled using a known shuffling algorithm and an *order seed* value.  The
+order seed value is based on the hash of the last created block."
+
+The canonical order is a pure function of (bundle history prefix, previous
+block hash, exclusion predicate), so the block creator and every inspector
+compute the same sequence independently.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence
+
+from repro.chain.block import block_order_seed
+from repro.core.commitment import BundleInfo
+
+
+def shuffle_bundle(ids: Sequence[int], prev_hash: bytes, bundle_index: int) -> List[int]:
+    """Deterministic pseudo-random permutation of one bundle's ids.
+
+    Fisher-Yates driven by a PRNG seeded from the previous block hash and
+    the bundle index -- the "known shuffling algorithm and an order seed".
+    The input is sorted first so the permutation depends only on the
+    bundle's id *set* (any reconstruction of the bundle yields the same
+    canonical order).
+    """
+    shuffled = sorted(ids)
+    random.Random(block_order_seed(prev_hash, bundle_index)).shuffle(shuffled)
+    return shuffled
+
+
+def canonical_order(
+    bundles: Sequence[BundleInfo],
+    seq: int,
+    prev_hash: bytes,
+    exclude: Callable[[int], bool],
+) -> List[int]:
+    """The full canonical tx-id sequence for a block.
+
+    * ``bundles``: the creator's committed bundle history.
+    * ``seq``: the commitment sequence number the block pins; only bundles
+      with ``index < seq`` participate.
+    * ``prev_hash``: previous block hash, the order seed.
+    * ``exclude``: predicate for ids that must *not* appear (invalid, fee
+      below threshold, already settled).  Exclusion is applied after the
+      shuffle so the relative order of survivors is still the canonical
+      one.
+    """
+    if seq > len(bundles):
+        raise ValueError(
+            f"seq {seq} exceeds available bundle history {len(bundles)}"
+        )
+    ordered: List[int] = []
+    for bundle in bundles[:seq]:
+        for sketch_id in shuffle_bundle(bundle.ids, prev_hash, bundle.index):
+            if not exclude(sketch_id):
+                ordered.append(sketch_id)
+    return ordered
+
+
+def fee_priority_order(
+    ids: Sequence[int],
+    fee_of: Callable[[int], int],
+    exclude: Callable[[int], bool],
+) -> List[int]:
+    """The 'Highest Fee' baseline policy of Fig. 8.
+
+    "Creating a block with the highest-fee transactions of the mempool" --
+    sort eligible ids by descending fee, ties broken by id for determinism.
+    """
+    eligible = [i for i in ids if not exclude(i)]
+    return sorted(eligible, key=lambda i: (-fee_of(i), i))

@@ -1,0 +1,75 @@
+"""The three explicit base-layer policies (Table 1).
+
+| Addressed manipulation | Implicit policy today            | LO's explicit policy                    |
+|------------------------|----------------------------------|-----------------------------------------|
+| Censorship             | Unreliable transaction gossip    | Inclusion of All Transactions           |
+| Injection              | Out-of-order tx selection        | Transaction Selection in Received Order |
+| Reordering             | Arbitrary order in a block       | Verifiable Canonical Order in a Block   |
+
+Each policy is expressed as a checkable predicate over protocol state, and
+every violation maps to one manipulation primitive (section 2.2).  Block
+inspection (:mod:`repro.core.inspection`) reports violations in these
+terms.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Manipulation(enum.Enum):
+    """Transaction manipulation primitives (section 2.2)."""
+
+    CENSORSHIP = "censorship"
+    INJECTION = "injection"
+    REORDERING = "reordering"
+
+
+class Policy(enum.Enum):
+    """LO's explicit base-layer policies (Table 1)."""
+
+    INCLUSION_OF_ALL_TRANSACTIONS = "inclusion-of-all-transactions"
+    SELECTION_IN_RECEIVED_ORDER = "selection-in-received-order"
+    VERIFIABLE_CANONICAL_ORDER = "verifiable-canonical-order"
+
+
+# Which manipulation each policy violation evidences (Table 1 rows).
+POLICY_ADDRESSES = {
+    Policy.INCLUSION_OF_ALL_TRANSACTIONS: Manipulation.CENSORSHIP,
+    Policy.SELECTION_IN_RECEIVED_ORDER: Manipulation.INJECTION,
+    Policy.VERIFIABLE_CANONICAL_ORDER: Manipulation.REORDERING,
+}
+
+
+# Protocol constant: a block may pin a commitment prefix at most this many
+# bundles behind the creator's newest *signed* commitment.  A correct
+# builder only lags by bundles whose contents are still in flight (a few
+# seconds' worth); pinning far behind -- the degenerate case being
+# commit_seq 0 with a fee-sorted body -- is lagging censorship.  The value
+# is a protocol-wide constant so that every correct node reaches the same
+# verdict on the same evidence (exposure completeness).
+STALE_SEQ_SLACK = 64
+
+
+class ViolationKind(enum.Enum):
+    """Concrete violations block inspection can attribute to a creator."""
+
+    MISSING_COMMITTED_TX = "missing-committed-tx"       # blockspace censorship
+    UNCOMMITTED_TX_IN_BODY = "uncommitted-tx-in-body"   # injection
+    ORDER_DEVIATION = "order-deviation"                 # reordering
+    STALE_COMMITMENT_SEQ = "stale-commitment-seq"       # lagging censorship
+
+    @property
+    def policy(self) -> Policy:
+        """The explicit policy this violation breaks."""
+        return {
+            ViolationKind.MISSING_COMMITTED_TX: Policy.INCLUSION_OF_ALL_TRANSACTIONS,
+            ViolationKind.UNCOMMITTED_TX_IN_BODY: Policy.SELECTION_IN_RECEIVED_ORDER,
+            ViolationKind.ORDER_DEVIATION: Policy.VERIFIABLE_CANONICAL_ORDER,
+            ViolationKind.STALE_COMMITMENT_SEQ: Policy.INCLUSION_OF_ALL_TRANSACTIONS,
+        }[self]
+
+    @property
+    def manipulation(self) -> Manipulation:
+        """The manipulation primitive the violation evidences."""
+        return POLICY_ADDRESSES[self.policy]

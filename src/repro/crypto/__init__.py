@@ -1,0 +1,23 @@
+"""Cryptographic substrate: hashing and simulated authenticated signatures.
+
+The paper's system model only assumes that "each miner is equipped with a
+cryptographic key pair ... and messages are authenticated" (section 3).  For
+the simulation we provide SHA-256 hashing and a deterministic HMAC-based
+signature scheme that is unforgeable by any party that does not hold the
+private seed -- sufficient for accountability experiments, without pulling
+in external dependencies (see DESIGN.md section 3, substitutions).
+"""
+
+from repro.crypto.hashing import sha256, sha256_hex, short_id, txid_from_bytes
+from repro.crypto.keys import KeyPair, PublicKey, SignatureError, verify
+
+__all__ = [
+    "KeyPair",
+    "PublicKey",
+    "SignatureError",
+    "sha256",
+    "sha256_hex",
+    "short_id",
+    "txid_from_bytes",
+    "verify",
+]

@@ -1,0 +1,43 @@
+"""Hashing helpers shared across the codebase.
+
+Transaction ids are SHA-256 digests of the serialized transaction (paper
+Alg. 1, ``txid <- H(tx)``).  Minisketch operates on a 32-bit integer
+representation of transaction hashes (section 4.2), produced here by
+:func:`txid_from_bytes`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def sha256(data: bytes) -> bytes:
+    """Return the 32-byte SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_hex(data: bytes) -> str:
+    """Return the hex-encoded SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def short_id(data: bytes, nbytes: int = 8) -> str:
+    """Short hex identifier for logs and reprs (first ``nbytes`` of SHA-256)."""
+    return hashlib.sha256(data).hexdigest()[: 2 * nbytes]
+
+
+def txid_from_bytes(digest: bytes, bits: int = 32) -> int:
+    """Map a hash digest to the ``bits``-bit nonzero integer Minisketch uses.
+
+    The paper represents set items as "the 32-bit integer representation of
+    transaction hashes".  PinSketch requires nonzero field elements, so a
+    zero truncation maps to 1 (probability 2^-bits; the remap keeps decode
+    semantics intact because ids are compared as integers everywhere).
+    """
+    if not digest:
+        raise ValueError("empty digest")
+    nbytes = (bits + 7) // 8
+    value = int.from_bytes(digest[:nbytes], "big")
+    if bits % 8:
+        value >>= 8 * nbytes - bits
+    return value if value != 0 else 1

@@ -1,0 +1,109 @@
+"""Simulated asymmetric signatures with HMAC construction.
+
+Every node owns a :class:`KeyPair`.  ``sign`` produces a 32-byte tag over
+(public key, message) keyed by a private seed; ``verify`` recomputes it via
+a process-global registry mapping public keys to their signing oracles.
+
+Security model: within a simulation process, a signature over ``msg`` under
+public key ``pk`` can only be produced by the holder of the matching
+:class:`KeyPair` (the private seed never leaves the object, and the registry
+exposes verification only).  That is exactly the "messages are
+authenticated" assumption of the paper's system model; see DESIGN.md for why
+this substitution is sound for accountability experiments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from typing import Dict, Optional
+
+
+class SignatureError(ValueError):
+    """Raised when signature verification fails in contexts that demand it."""
+
+
+class PublicKey:
+    """An immutable, hashable public identity derived from a private seed."""
+
+    __slots__ = ("_raw",)
+
+    def __init__(self, raw: bytes):
+        if len(raw) != 32:
+            raise ValueError(f"public key must be 32 bytes, got {len(raw)}")
+        self._raw = raw
+
+    @property
+    def raw(self) -> bytes:
+        """The 32 raw key bytes."""
+        return self._raw
+
+    def hex(self) -> str:
+        """Hex encoding of the key."""
+        return self._raw.hex()
+
+    def short(self) -> str:
+        """First 8 hex chars, for logs."""
+        return self._raw.hex()[:8]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PublicKey) and self._raw == other._raw
+
+    def __lt__(self, other: "PublicKey") -> bool:
+        return self._raw < other._raw
+
+    def __hash__(self) -> int:
+        return hash(self._raw)
+
+    def __repr__(self) -> str:
+        return f"PublicKey({self.short()})"
+
+
+# Process-global verification registry: public key bytes -> MAC oracle.
+_VERIFIERS: Dict[bytes, "KeyPair"] = {}
+
+
+class KeyPair:
+    """A signing key pair; create one per node.
+
+    >>> kp = KeyPair.generate(seed=b"node-0")
+    >>> sig = kp.sign(b"hello")
+    >>> verify(kp.public_key, b"hello", sig)
+    True
+    >>> verify(kp.public_key, b"tampered", sig)
+    False
+    """
+
+    __slots__ = ("_seed", "public_key")
+
+    def __init__(self, seed: bytes):
+        if len(seed) == 0:
+            raise ValueError("empty key seed")
+        self._seed = hashlib.sha256(b"lo-keyseed:" + seed).digest()
+        self.public_key = PublicKey(hashlib.sha256(b"lo-pubkey:" + self._seed).digest())
+        _VERIFIERS[self.public_key.raw] = self
+
+    @classmethod
+    def generate(cls, seed: Optional[bytes] = None) -> "KeyPair":
+        """Generate a key pair; deterministic when ``seed`` is provided."""
+        return cls(seed if seed is not None else os.urandom(32))
+
+    def sign(self, message: bytes) -> bytes:
+        """Return a 32-byte signature over ``message``."""
+        return hmac.new(self._seed, b"lo-sig:" + message, hashlib.sha256).digest()
+
+    def _mac(self, message: bytes) -> bytes:
+        return hmac.new(self._seed, b"lo-sig:" + message, hashlib.sha256).digest()
+
+
+def verify(public_key: PublicKey, message: bytes, signature: bytes) -> bool:
+    """Check ``signature`` over ``message`` under ``public_key``.
+
+    Unknown public keys verify nothing (returns False), mirroring a real
+    scheme where an invalid key yields invalid signatures.
+    """
+    holder = _VERIFIERS.get(public_key.raw)
+    if holder is None:
+        return False
+    return hmac.compare_digest(holder._mac(message), signature)

@@ -1,0 +1,17 @@
+"""Experiment runners: one module per paper table/figure.
+
+Each runner builds a simulation from :mod:`repro.experiments.harness`,
+drives the workload, and returns a plain-data result object that the
+corresponding benchmark prints as the paper's rows/series.  See DESIGN.md
+section 4 for the experiment index.
+"""
+
+from repro.experiments.harness import LOSimulation, SimulationParams
+from repro.experiments.repeat import derive_seeds, repeat_scalar
+
+__all__ = [
+    "LOSimulation",
+    "SimulationParams",
+    "derive_seeds",
+    "repeat_scalar",
+]

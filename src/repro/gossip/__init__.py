@@ -1,0 +1,17 @@
+"""Peer sampling and neighbour shuffling.
+
+LO assumes a Byzantine-resilient uniform peer sampler (Brahms / Basalt) as
+a given building block: "It presumes that the peer sampling algorithm
+ensures interaction between any correct node within a finite time frame"
+(section 3) and requires (i) the honest subgraph to stay connected and
+(ii) unbiased uniform sampling (section 5.1).  We implement a sampler that
+*provides* those guarantees directly (uniform over the live membership,
+with exclusion of suspected/exposed peers), rather than re-deriving them
+from a gossip exchange -- the paper treats the sampler's guarantees, not
+its internals, as the interface.
+"""
+
+from repro.gossip.sampler import PeerSampler
+from repro.gossip.shuffle import NeighborShuffler
+
+__all__ = ["PeerSampler", "NeighborShuffler"]

@@ -1,0 +1,85 @@
+"""Uniform Byzantine-resilient peer sampling (interface-level model).
+
+The sampler owns the membership list and hands any node a uniform sample
+over it.  Exclusion filters (per-caller blocklists of suspected/exposed
+peers plus global departures) model the paper's requirement that "the peer
+discovery process continues until it is provided with a sufficient number
+of non-suspected and non-exposed peers" (section 5.1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, List, Optional, Set
+
+
+class PeerSampler:
+    """Uniform sampling over live membership with exclusions.
+
+    >>> sampler = PeerSampler(range(10), random.Random(1))
+    >>> peers = sampler.sample(0, 3)
+    >>> len(peers), 0 in peers
+    (3, False)
+    """
+
+    def __init__(self, members: Iterable[int], rng: random.Random):
+        self._members: List[int] = sorted(set(members))
+        if len(self._members) < 2:
+            raise ValueError("sampler needs at least 2 members")
+        self._departed: Set[int] = set()
+        self.rng = rng
+
+    # ------------------------------------------------------------ membership
+
+    @property
+    def members(self) -> List[int]:
+        """Live members (excluding departed)."""
+        return [m for m in self._members if m not in self._departed]
+
+    def join(self, node_id: int) -> None:
+        """Add (or re-add) a member."""
+        if node_id not in self._members:
+            self._members.append(node_id)
+            self._members.sort()
+        self._departed.discard(node_id)
+
+    def leave(self, node_id: int) -> None:
+        """Mark a member as departed; it stops being sampled."""
+        self._departed.add(node_id)
+
+    # --------------------------------------------------------------- sampling
+
+    def sample(
+        self,
+        caller: int,
+        k: int,
+        exclude: Optional[Set[int]] = None,
+        predicate: Optional[Callable[[int], bool]] = None,
+    ) -> List[int]:
+        """Up to ``k`` distinct peers, uniform over eligible membership.
+
+        Never includes the caller or departed members; ``exclude`` is the
+        caller's suspected/exposed blocklist, ``predicate`` an optional
+        extra filter.  Returns fewer than ``k`` peers when the eligible
+        pool is small.
+        """
+        if k < 0:
+            raise ValueError(f"negative sample size: {k}")
+        pool = [
+            m
+            for m in self._members
+            if m != caller
+            and m not in self._departed
+            and (exclude is None or m not in exclude)
+            and (predicate is None or predicate(m))
+        ]
+        if len(pool) <= k:
+            return pool
+        return self.rng.sample(pool, k)
+
+    def sample_one(
+        self, caller: int, exclude: Optional[Set[int]] = None
+    ) -> Optional[int]:
+        """A single uniform peer, or None when none is eligible."""
+        picked = self.sample(caller, 1, exclude)
+        return picked[0] if picked else None

@@ -1,0 +1,25 @@
+"""Transactions and the secure append-only mempool data structure.
+
+LO "forces miners to log all the transactions they receive into a secure
+mempool data structure and to process them in a verifiable manner"
+(abstract).  :class:`TransactionLog` is that structure: an append-only,
+insertion-ordered record of every valid transaction a miner has ever
+encountered, alongside derived indexes (32-bit sketch ids, Bloom-Clock
+cells, per-cell incremental sketches) that make commitments cheap.
+"""
+
+from repro.mempool.transaction import (
+    Transaction,
+    TransactionError,
+    make_transaction,
+    prevalidate,
+)
+from repro.mempool.txlog import TransactionLog
+
+__all__ = [
+    "Transaction",
+    "TransactionError",
+    "TransactionLog",
+    "make_transaction",
+    "prevalidate",
+]

@@ -1,0 +1,160 @@
+"""The secure append-only transaction log ("mempool data structure").
+
+Every miner "includes all valid transactions it encountered during the
+system run in its locally maintained append-only transactions set"
+(section 4.1, Inclusion of All Transactions), in the order they were
+received (Transaction Selection in Received Order).  The log is therefore
+an ordered, append-only sequence of transaction ids, with:
+
+* the node's :class:`~repro.bloomclock.BloomClock` over the same ids;
+* one incremental :class:`~repro.sketch.PinSketch` per Bloom-Clock cell,
+  so a sketch restricted to any flagged cell subset is an O(cells) XOR
+  (sketches are linear) -- this is how commitments stay cheap to produce;
+* content storage: ids can be committed before their transaction bytes
+  arrive ("share the transaction IDs, and only later selectively share the
+  transaction content", section 2.3 stage II).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.bloomclock import BloomClock
+from repro.mempool.transaction import Transaction
+from repro.sketch import PinSketch
+
+
+class TransactionLog:
+    """Append-only, insertion-ordered record of observed transactions."""
+
+    def __init__(self, clock_cells: int = 32, sketch_capacity: int = 100,
+                 sketch_bits: int = 32):
+        self.clock = BloomClock(cells=clock_cells)
+        self.sketch_capacity = sketch_capacity
+        self.sketch_bits = sketch_bits
+        self._order: List[int] = []              # sketch ids, received order
+        self._position: Dict[int, int] = {}      # sketch id -> index
+        self._content: Dict[int, Transaction] = {}
+        self._invalid: Set[int] = set()
+        self._cell_items: List[List[int]] = [[] for _ in range(clock_cells)]
+        self._cell_sketches: List[PinSketch] = [
+            PinSketch(sketch_capacity, sketch_bits) for _ in range(clock_cells)
+        ]
+
+    # --------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, sketch_id: int) -> bool:
+        return sketch_id in self._position
+
+    @property
+    def order(self) -> Sequence[int]:
+        """All committed ids in received order (do not mutate)."""
+        return self._order
+
+    def position(self, sketch_id: int) -> Optional[int]:
+        """Insertion index of an id, or None when unknown."""
+        return self._position.get(sketch_id)
+
+    def ids_after(self, index: int) -> List[int]:
+        """Ids appended at or after ``index`` (used to diff commitments)."""
+        return self._order[index:]
+
+    def known_ids(self) -> Set[int]:
+        """Set view of every committed id."""
+        return set(self._position)
+
+    def content_of(self, sketch_id: int) -> Optional[Transaction]:
+        """Stored transaction bytes for an id, if they have arrived."""
+        return self._content.get(sketch_id)
+
+    def missing_content(self) -> List[int]:
+        """Committed ids whose transaction content has not arrived yet."""
+        return [i for i in self._order if i not in self._content]
+
+    def is_invalid(self, sketch_id: int) -> bool:
+        """Whether the id's content failed validation on arrival."""
+        return sketch_id in self._invalid
+
+    # -------------------------------------------------------------- mutation
+
+    def append(self, sketch_id: int) -> bool:
+        """Commit to an id at the tail of the log.
+
+        Returns False (and does nothing) when the id is already present:
+        the log is a set as well as a sequence, and re-announcements must
+        not move a transaction's committed position.
+        """
+        if sketch_id in self._position:
+            return False
+        self._position[sketch_id] = len(self._order)
+        self._order.append(sketch_id)
+        self.clock.add(sketch_id)
+        cell = self.clock.cell_of(sketch_id)
+        self._cell_items[cell].append(sketch_id)
+        self._cell_sketches[cell].add(sketch_id)
+        return True
+
+    def append_many(self, sketch_ids: Iterable[int]) -> List[int]:
+        """Append a bundle of ids, preserving their order; returns new ones."""
+        added = []
+        for sketch_id in sketch_ids:
+            if self.append(sketch_id):
+                added.append(sketch_id)
+        return added
+
+    def add_content(self, tx: Transaction, valid: bool = True) -> None:
+        """Attach transaction bytes to a committed id.
+
+        ``valid=False`` marks the content as failing prevalidation; the id
+        stays in the log (commitments are append-only) but block building
+        and inspection both treat it as excluded (section 4.3).
+        """
+        sketch_id = tx.sketch_id
+        if sketch_id not in self._position:
+            raise KeyError(f"id {sketch_id} was never committed to this log")
+        self._content[sketch_id] = tx
+        if not valid:
+            self._invalid.add(sketch_id)
+
+    # ------------------------------------------------------------- sketching
+
+    def sketch_for_cells(
+        self, cells: Iterable[int], capacity: Optional[int] = None
+    ) -> PinSketch:
+        """Sketch of all ids whose Bloom-Clock cell is in ``cells``.
+
+        Cheap: per-cell sketches are maintained incrementally and XOR
+        (linearity) combines them; ``capacity`` (<= the maintained maximum)
+        truncates to the requested size.
+        """
+        capacity = capacity or self.sketch_capacity
+        if capacity > self.sketch_capacity:
+            raise ValueError(
+                f"capacity {capacity} exceeds maintained {self.sketch_capacity}"
+            )
+        combined = PinSketch(capacity, self.sketch_bits)
+        for cell in cells:
+            combined = combined ^ self._cell_sketches[cell].truncated(capacity)
+        return combined
+
+    def full_sketch(self, capacity: Optional[int] = None) -> PinSketch:
+        """Sketch of the entire log."""
+        return self.sketch_for_cells(range(self.clock.cells), capacity)
+
+    def items_in_cells(self, cells: Iterable[int]) -> List[int]:
+        """All ids mapping into the given Bloom-Clock cells."""
+        items: List[int] = []
+        for cell in cells:
+            items.extend(self._cell_items[cell])
+        return items
+
+    def subset_sketch(
+        self, ids: Iterable[int], capacity: Optional[int] = None
+    ) -> PinSketch:
+        """Ad-hoc sketch over explicit ids (partition-fallback path)."""
+        sketch = PinSketch(capacity or self.sketch_capacity, self.sketch_bits)
+        sketch.add_all(ids)
+        return sketch

@@ -1,0 +1,20 @@
+"""Measurement utilities shared by experiments and benchmarks."""
+
+from repro.metrics.stats import (
+    Histogram,
+    describe,
+    mean,
+    percentile,
+    stddev,
+)
+from repro.metrics.trackers import EventCounter, LatencyTracker
+
+__all__ = [
+    "EventCounter",
+    "Histogram",
+    "LatencyTracker",
+    "describe",
+    "mean",
+    "percentile",
+    "stddev",
+]

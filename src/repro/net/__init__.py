@@ -1,0 +1,36 @@
+"""Simulated message-passing network (substitutes the paper's testbed).
+
+The paper runs 10,000 Python processes on a cluster with netem-emulated
+latencies from the WonderNetwork 32-city ping dataset.  We substitute an
+in-process network: nodes attached to a :class:`Network` exchange messages
+over :class:`Link`-modelled connections whose one-way delays come from a
+pluggable :class:`LatencyModel`.  Per-node byte counters feed the bandwidth
+experiments (Fig. 9).
+
+Topology follows the evaluation setup (section 6.1): every node keeps eight
+outgoing connections and accepts at most 125 incoming ones, the default
+Bitcoin parameters.
+"""
+
+from repro.net.latency import (
+    CityLatencyModel,
+    ConstantLatencyModel,
+    LatencyModel,
+    UniformLatencyModel,
+)
+from repro.net.message import Message
+from repro.net.network import Endpoint, Network, NodeId
+from repro.net.topology import TopologyBuilder, TopologyError
+
+__all__ = [
+    "CityLatencyModel",
+    "ConstantLatencyModel",
+    "Endpoint",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "NodeId",
+    "TopologyBuilder",
+    "TopologyError",
+    "UniformLatencyModel",
+]

@@ -1,0 +1,234 @@
+"""The simulated network: endpoints, delivery, and bandwidth accounting.
+
+Nodes implement the :class:`Endpoint` interface and register with a
+:class:`Network`.  ``send`` schedules an ``on_message`` callback on the
+recipient after the latency-model delay.  The network tracks per-node and
+per-message-type byte counters, split into protocol overhead vs transaction
+payload, which is exactly the accounting Fig. 9 needs.
+
+Fault injection: nodes can be crashed (drop everything), partitioned
+(drop messages crossing the partition), or have per-link drops installed --
+used by the accountability experiments where faulty miners "avoid
+interacting with some other nodes" (section 3.1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.net.latency import ConstantLatencyModel, LatencyModel
+from repro.net.message import Message
+from repro.sim.loop import EventLoop
+
+NodeId = int
+
+
+class Endpoint:
+    """Interface every simulated node implements."""
+
+    node_id: NodeId
+
+    def on_message(self, message: Message) -> None:
+        """Handle a delivered message."""
+        raise NotImplementedError
+
+
+class BandwidthMeter:
+    """Byte counters for one node, split by direction and overhead flag."""
+
+    __slots__ = ("sent_overhead", "sent_payload", "recv_overhead", "recv_payload",
+                 "sent_messages", "recv_messages", "by_type")
+
+    def __init__(self) -> None:
+        self.sent_overhead = 0
+        self.sent_payload = 0
+        self.recv_overhead = 0
+        self.recv_payload = 0
+        self.sent_messages = 0
+        self.recv_messages = 0
+        self.by_type: Dict[str, int] = defaultdict(int)
+
+    def record_send(self, message: Message) -> None:
+        self.sent_messages += 1
+        if message.is_overhead:
+            # by_type is an *overhead* breakdown (feeds Fig. 9); payload
+            # bytes are tracked in aggregate only.
+            self.by_type[message.msg_type] += message.wire_bytes
+            self.sent_overhead += message.wire_bytes
+        else:
+            self.sent_payload += message.wire_bytes
+
+    def record_recv(self, message: Message) -> None:
+        self.recv_messages += 1
+        if message.is_overhead:
+            self.recv_overhead += message.wire_bytes
+        else:
+            self.recv_payload += message.wire_bytes
+
+    @property
+    def total_overhead(self) -> int:
+        """Overhead bytes crossing this node's interface, both directions."""
+        return self.sent_overhead + self.recv_overhead
+
+
+class Network:
+    """Message router over an event loop.
+
+    >>> from repro.sim import EventLoop
+    >>> loop = EventLoop()
+    >>> net = Network(loop)
+    >>> class Echo(Endpoint):
+    ...     def __init__(self, node_id):
+    ...         self.node_id = node_id
+    ...         self.seen = []
+    ...     def on_message(self, message):
+    ...         self.seen.append(message.payload)
+    >>> a, b = Echo(0), Echo(1)
+    >>> net.register(a); net.register(b)
+    >>> net.send(0, 1, "ping", {"x": 1}, wire_bytes=64)
+    >>> loop.run_for(1.0); b.seen
+    [{'x': 1}]
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        latency_model: Optional[LatencyModel] = None,
+    ):
+        self.loop = loop
+        self.latency_model = latency_model or ConstantLatencyModel(0.05)
+        self.nodes: Dict[NodeId, Endpoint] = {}
+        self.meters: Dict[NodeId, BandwidthMeter] = {}
+        self._crashed: Set[NodeId] = set()
+        self._blocked_links: Set[Tuple[NodeId, NodeId]] = set()
+        self._partition: Optional[List[Set[NodeId]]] = None
+        self.dropped_messages = 0
+        self.delivered_messages = 0
+        self._delivery_hooks: List[Callable[[Message], bool]] = []
+
+    # ----------------------------------------------------------- membership
+
+    def register(self, endpoint: Endpoint) -> None:
+        """Attach an endpoint; its ``node_id`` must be unique."""
+        node_id = endpoint.node_id
+        if node_id in self.nodes:
+            raise ValueError(f"node id {node_id} already registered")
+        self.nodes[node_id] = endpoint
+        self.meters[node_id] = BandwidthMeter()
+
+    def unregister(self, node_id: NodeId) -> None:
+        """Detach a node (it stops receiving); meter is retained."""
+        self.nodes.pop(node_id, None)
+
+    # ------------------------------------------------------- fault injection
+
+    def crash(self, node_id: NodeId) -> None:
+        """Silently drop all traffic to and from ``node_id``."""
+        self._crashed.add(node_id)
+
+    def recover(self, node_id: NodeId) -> None:
+        """Undo :meth:`crash`."""
+        self._crashed.discard(node_id)
+
+    def is_crashed(self, node_id: NodeId) -> bool:
+        """Whether a node is currently crashed (offline)."""
+        return node_id in self._crashed
+
+    def block_link(self, sender: NodeId, recipient: NodeId) -> None:
+        """Drop messages on one directed link."""
+        self._blocked_links.add((sender, recipient))
+
+    def unblock_link(self, sender: NodeId, recipient: NodeId) -> None:
+        """Undo :meth:`block_link`."""
+        self._blocked_links.discard((sender, recipient))
+
+    def partition(self, groups: List[Set[NodeId]]) -> None:
+        """Install a partition: messages between different groups are dropped."""
+        self._partition = groups
+
+    def heal_partition(self) -> None:
+        """Remove any installed partition."""
+        self._partition = None
+
+    def add_delivery_hook(self, hook: Callable[[Message], bool]) -> None:
+        """Register a predicate consulted per message; ``False`` drops it."""
+        self._delivery_hooks.append(hook)
+
+    def _crosses_partition(self, sender: NodeId, recipient: NodeId) -> bool:
+        if self._partition is None:
+            return False
+        for group in self._partition:
+            if sender in group:
+                return recipient not in group
+        return False
+
+    # --------------------------------------------------------------- sending
+
+    def send(
+        self,
+        sender: NodeId,
+        recipient: NodeId,
+        msg_type: str,
+        payload: Any,
+        wire_bytes: int,
+        is_overhead: bool = True,
+    ) -> None:
+        """Queue a message for delivery after the modelled latency.
+
+        Sends are never errors: unknown or crashed recipients just lose the
+        message, as over UDP.  Sender-side bytes are metered even when the
+        message is dropped downstream (the bytes left the sender's NIC).
+        """
+        message = Message(sender, recipient, msg_type, payload, wire_bytes,
+                          is_overhead)
+        meter = self.meters.get(sender)
+        if meter is not None:
+            meter.record_send(message)
+        if sender in self._crashed or recipient in self._crashed:
+            self.dropped_messages += 1
+            return
+        if (sender, recipient) in self._blocked_links:
+            self.dropped_messages += 1
+            return
+        if self._crosses_partition(sender, recipient):
+            self.dropped_messages += 1
+            return
+        for hook in self._delivery_hooks:
+            if not hook(message):
+                self.dropped_messages += 1
+                return
+        delay = self.latency_model.delay(sender, recipient)
+        self.loop.call_later(delay, self._deliver, message)
+
+    def _deliver(self, message: Message) -> None:
+        if message.recipient in self._crashed:
+            self.dropped_messages += 1
+            return
+        endpoint = self.nodes.get(message.recipient)
+        if endpoint is None:
+            self.dropped_messages += 1
+            return
+        meter = self.meters.get(message.recipient)
+        if meter is not None:
+            meter.record_recv(message)
+        self.delivered_messages += 1
+        endpoint.on_message(message)
+
+    # ------------------------------------------------------------ statistics
+
+    def total_overhead_bytes(self) -> int:
+        """Sum of overhead bytes sent by all nodes."""
+        return sum(meter.sent_overhead for meter in self.meters.values())
+
+    def total_payload_bytes(self) -> int:
+        """Sum of transaction-payload bytes sent by all nodes."""
+        return sum(meter.sent_payload for meter in self.meters.values())
+
+    def overhead_by_type(self) -> Dict[str, int]:
+        """Overhead bytes aggregated per message type across all nodes."""
+        totals: Dict[str, int] = defaultdict(int)
+        for meter in self.meters.values():
+            for msg_type, count in meter.by_type.items():
+                totals[msg_type] += count
+        return dict(totals)

@@ -1,0 +1,146 @@
+"""Overlay topology construction.
+
+Section 6.1: "We constructed a connected topology where each node had eight
+outgoing connections and up to 125 incoming connections, in line with the
+default Bitcoin parameters."  The builder samples outgoing peers uniformly
+while honouring the inbound cap, then patches connectivity if the undirected
+graph came out disconnected (possible at small sizes).
+
+For the resilience experiments (section 6.2) the builder can also produce a
+topology where a set of malicious nodes is interconnected but "for every
+pair of correct nodes, there exists at least one path between them
+consisting solely of correct nodes".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Set
+
+
+class TopologyError(RuntimeError):
+    """Raised when a requested topology cannot be constructed."""
+
+
+class TopologyBuilder:
+    """Random overlay graphs with Bitcoin-like degree constraints."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        rng: random.Random,
+        out_degree: int = 8,
+        max_in_degree: int = 125,
+    ):
+        if num_nodes < 2:
+            raise TopologyError(f"need at least 2 nodes, got {num_nodes}")
+        self.num_nodes = num_nodes
+        self.rng = rng
+        self.out_degree = min(out_degree, num_nodes - 1)
+        self.max_in_degree = max_in_degree
+
+    # ------------------------------------------------------------- building
+
+    def build(self) -> Dict[int, Set[int]]:
+        """Undirected adjacency from random outgoing connections.
+
+        Returns node -> set of neighbours.  Each node picks ``out_degree``
+        distinct targets with available inbound capacity; the final graph is
+        undirected because connections are bidirectional channels.
+        """
+        in_degree = [0] * self.num_nodes
+        adjacency: Dict[int, Set[int]] = {i: set() for i in range(self.num_nodes)}
+        order = list(range(self.num_nodes))
+        self.rng.shuffle(order)
+        for node in order:
+            candidates = [
+                peer
+                for peer in range(self.num_nodes)
+                if peer != node
+                and peer not in adjacency[node]
+                and in_degree[peer] < self.max_in_degree
+            ]
+            self.rng.shuffle(candidates)
+            for peer in candidates[: self.out_degree]:
+                adjacency[node].add(peer)
+                adjacency[peer].add(node)
+                in_degree[peer] += 1
+        self._ensure_connected(adjacency, set(range(self.num_nodes)))
+        return adjacency
+
+    def build_with_adversaries(
+        self, malicious: Sequence[int]
+    ) -> Dict[int, Set[int]]:
+        """Topology for section 6.2: malicious clique, correct core connected.
+
+        "All malicious miners are assumed to be interconnected" and every
+        pair of correct nodes stays connected through correct-only paths.
+        """
+        malicious_set = set(malicious)
+        if not malicious_set <= set(range(self.num_nodes)):
+            raise TopologyError("malicious ids out of range")
+        correct = [i for i in range(self.num_nodes) if i not in malicious_set]
+        if len(correct) < 2:
+            raise TopologyError("need at least 2 correct nodes")
+        adjacency = self.build()
+        # Interconnect the malicious nodes (clique for small counts, ring +
+        # random chords beyond that to keep degree sane).
+        malicious_list = sorted(malicious_set)
+        if len(malicious_list) > 1:
+            if len(malicious_list) <= 24:
+                for i, a in enumerate(malicious_list):
+                    for b in malicious_list[i + 1 :]:
+                        adjacency[a].add(b)
+                        adjacency[b].add(a)
+            else:
+                for i, a in enumerate(malicious_list):
+                    b = malicious_list[(i + 1) % len(malicious_list)]
+                    adjacency[a].add(b)
+                    adjacency[b].add(a)
+                    chord = self.rng.choice(malicious_list)
+                    if chord != a:
+                        adjacency[a].add(chord)
+                        adjacency[chord].add(a)
+        # Guarantee a correct-only connected subgraph.
+        self._ensure_connected(adjacency, set(correct))
+        return adjacency
+
+    # ------------------------------------------------------------- utilities
+
+    def _ensure_connected(
+        self, adjacency: Dict[int, Set[int]], within: Set[int]
+    ) -> None:
+        """Add random edges inside ``within`` until it is internally connected."""
+        components = self._components(adjacency, within)
+        while len(components) > 1:
+            a = self.rng.choice(sorted(components[0]))
+            b = self.rng.choice(sorted(components[1]))
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+            components = self._components(adjacency, within)
+
+    @staticmethod
+    def _components(
+        adjacency: Dict[int, Set[int]], within: Set[int]
+    ) -> List[Set[int]]:
+        """Connected components of the subgraph induced by ``within``."""
+        remaining = set(within)
+        components: List[Set[int]] = []
+        while remaining:
+            start = next(iter(remaining))
+            seen = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for peer in adjacency[node]:
+                    if peer in within and peer not in seen:
+                        seen.add(peer)
+                        frontier.append(peer)
+            components.append(seen)
+            remaining -= seen
+        return components
+
+
+def is_connected(adjacency: Dict[int, Set[int]], within: Set[int]) -> bool:
+    """True when the subgraph induced by ``within`` is connected."""
+    return len(TopologyBuilder._components(adjacency, within)) <= 1

@@ -1,0 +1,27 @@
+"""Deterministic discrete-event simulation substrate.
+
+All LO protocol code runs against this simulated clock rather than wall-clock
+time.  The paper evaluates LO on a research cluster with netem-emulated
+latencies; we substitute a deterministic event-driven simulator so that every
+experiment is reproducible bit-for-bit from a seed (see DESIGN.md section 3).
+
+Public API:
+
+* :class:`~repro.sim.loop.EventLoop` -- the scheduler.
+* :class:`~repro.sim.loop.Event` -- a scheduled callback handle.
+* :class:`~repro.sim.process.Process` -- base class for periodic activities.
+* :class:`~repro.sim.rng.SeededRng` -- named deterministic random streams.
+"""
+
+from repro.sim.loop import Event, EventLoop, SimulationError
+from repro.sim.process import PeriodicProcess, Process
+from repro.sim.rng import SeededRng
+
+__all__ = [
+    "Event",
+    "EventLoop",
+    "PeriodicProcess",
+    "Process",
+    "SeededRng",
+    "SimulationError",
+]

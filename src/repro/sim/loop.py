@@ -1,0 +1,157 @@
+"""Discrete-event loop with a simulated clock.
+
+The loop maintains a priority queue of timestamped events.  ``run_until``
+pops events in (time, sequence) order, advancing the clock to each event's
+timestamp before invoking its callback.  Ties are broken by insertion order,
+which makes runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the simulation engine (e.g. scheduling in the past)."""
+
+
+class Event:
+    """Handle to a scheduled callback.
+
+    Events are returned by :meth:`EventLoop.call_at` /
+    :meth:`EventLoop.call_later` and can be cancelled.  A cancelled event
+    stays in the heap but is skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: Tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when the event is popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class EventLoop:
+    """A deterministic discrete-event scheduler.
+
+    >>> loop = EventLoop()
+    >>> seen = []
+    >>> _ = loop.call_later(2.0, seen.append, "b")
+    >>> _ = loop.call_later(1.0, seen.append, "a")
+    >>> loop.run_until(10.0)
+    >>> seen
+    ['a', 'b']
+    >>> loop.now
+    10.0
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def processed_events(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._processed
+
+    def call_at(self, when: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={when:.6f} before now={self._now:.6f}"
+            )
+        event = Event(when, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_later(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, callback, *args)
+
+    def run_until(self, deadline: float) -> None:
+        """Run all events with ``time <= deadline``, then set the clock to it.
+
+        The deadline is inclusive: events scheduled exactly at the deadline
+        run.  Events scheduled by callbacks during the run are honoured if
+        they also fall within the deadline.
+        """
+        if deadline < self._now:
+            raise SimulationError(
+                f"deadline t={deadline:.6f} is before now={self._now:.6f}"
+            )
+        self._running = True
+        try:
+            while self._heap and self._heap[0].time <= deadline:
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                self._processed += 1
+                event.callback(*event.args)
+            self._now = deadline
+        finally:
+            self._running = False
+
+    def run_for(self, duration: float) -> None:
+        """Run the simulation forward by ``duration`` seconds."""
+        self.run_until(self._now + duration)
+
+    def step(self) -> Optional[Event]:
+        """Execute the single next pending event, if any.
+
+        Returns the executed event, or ``None`` when the heap is empty.
+        Useful in tests that want to observe one delivery at a time.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback(*event.args)
+            return event
+        return None
+
+    def drain(self, max_events: int = 1_000_000) -> int:
+        """Run until no events remain; returns the number executed.
+
+        ``max_events`` guards against livelock from self-rescheduling
+        processes; exceeding it raises :class:`SimulationError`.
+        """
+        executed = 0
+        while self._heap:
+            if executed >= max_events:
+                raise SimulationError(f"drain exceeded {max_events} events")
+            if self.step() is not None:
+                executed += 1
+        return executed

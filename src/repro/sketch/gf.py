@@ -1,0 +1,413 @@
+"""Binary finite fields GF(2^m) and polynomial arithmetic over them.
+
+Elements are Python ints in ``[0, 2^m)`` interpreted as polynomials over
+GF(2).  Multiplication is carry-less multiplication followed by reduction
+modulo an irreducible polynomial.  For small fields (m <= 16) log/exp tables
+make multiplication two lookups; for larger fields a nibble-windowed
+carry-less multiply keeps pure-Python cost low.
+
+Polynomials over GF(2^m) are represented as lists of coefficients in
+ascending degree order, normalised so the last coefficient is nonzero (the
+zero polynomial is the empty list).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+# Irreducible polynomials (without the leading x^m term) for supported m,
+# matching the moduli used by libminisketch where applicable.
+IRREDUCIBLE_POLY = {
+    8: 0x1B,        # x^8 + x^4 + x^3 + x + 1
+    12: 0x9,        # x^12 + x^3 + 1
+    16: 0x2B,       # x^16 + x^5 + x^3 + x + 1
+    24: 0x1B,       # x^24 + x^4 + x^3 + x + 1
+    32: 0x8D,       # x^32 + x^7 + x^3 + x^2 + 1
+    48: 0x2D,       # x^48 + x^5 + x^3 + x^2 + 1
+    64: 0x1B,       # x^64 + x^4 + x^3 + x + 1
+}
+
+
+class GF2m:
+    """The finite field GF(2^m).
+
+    >>> f = GF2m(16)
+    >>> a, b = 0x1234, 0x5678
+    >>> f.mul(a, f.inv(a))
+    1
+    >>> f.mul(a, b) == f.mul(b, a)
+    True
+    """
+
+    def __init__(self, m: int, modulus: Optional[int] = None):
+        if modulus is None:
+            if m not in IRREDUCIBLE_POLY:
+                raise ValueError(f"no built-in modulus for GF(2^{m})")
+            modulus = IRREDUCIBLE_POLY[m]
+        self.m = m
+        self.order = 1 << m
+        self.mask = self.order - 1
+        # Full modulus polynomial including the x^m term.
+        self.modulus = modulus | self.order
+        self._low_modulus = modulus
+        self._log: Optional[List[int]] = None
+        self._exp: Optional[List[int]] = None
+        if m <= 16:
+            self._build_tables()
+
+    # ------------------------------------------------------------------ setup
+
+    def _build_tables(self) -> None:
+        """Build log/exp tables over a primitive element.
+
+        ``x`` itself need not be primitive for every irreducible modulus
+        (it is not for the GF(2^16) modulus used here), so candidate
+        generators are tried until one whose powers enumerate the whole
+        multiplicative group is found.
+        """
+        size = self.order
+        for generator in range(2, 64):
+            exp = [0] * (2 * size)
+            log = [0] * size
+            value = 1
+            primitive = True
+            for i in range(size - 1):
+                if value == 1 and i > 0:
+                    primitive = False  # cycled early: not a generator
+                    break
+                exp[i] = value
+                log[value] = i
+                value = self._mul_notable(value, generator)
+            if primitive and value == 1:
+                for i in range(size - 1, 2 * size):
+                    exp[i] = exp[i - (size - 1)]
+                self._exp = exp
+                self._log = log
+                return
+        self._log = None
+        self._exp = None
+
+    # ------------------------------------------------------------- arithmetic
+
+    def add(self, a: int, b: int) -> int:
+        """Addition (== subtraction) is XOR in characteristic 2."""
+        return a ^ b
+
+    def _mul_notable(self, a: int, b: int) -> int:
+        result = 0
+        while a:
+            if a & 1:
+                result ^= b
+            a >>= 1
+            b <<= 1
+        return self._reduce(result)
+
+    def _reduce(self, value: int) -> int:
+        """Reduce an up-to-(2m-1)-bit carry-less product modulo the field."""
+        m = self.m
+        modulus = self.modulus
+        top = value.bit_length()
+        while top > m:
+            value ^= modulus << (top - m - 1)
+            top = value.bit_length()
+        return value
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication."""
+        if a == 0 or b == 0:
+            return 0
+        if self._log is not None:
+            return self._exp[self._log[a] + self._log[b]]
+        # Nibble-windowed carry-less multiply for large fields.
+        table = [0, b]
+        for i in range(1, 8):
+            table.append(table[i] << 1)
+            table.append((table[i] << 1) ^ b)
+        result = 0
+        shift = 0
+        while a:
+            nib = a & 0xF
+            if nib:
+                result ^= table[nib] << shift
+            a >>= 4
+            shift += 4
+        return self._reduce(result)
+
+    def sqr(self, a: int) -> int:
+        """Field squaring (linear in characteristic 2; bit-spread then reduce)."""
+        if self._log is not None and a != 0:
+            return self._exp[2 * self._log[a]]
+        result = 0
+        bit = 0
+        while a:
+            if a & 1:
+                result ^= 1 << (2 * bit)
+            a >>= 1
+            bit += 1
+        return self._reduce(result)
+
+    def pow(self, a: int, e: int) -> int:
+        """Field exponentiation by squaring."""
+        if e < 0:
+            return self.pow(self.inv(a), -e)
+        result = 1
+        base = a
+        while e:
+            if e & 1:
+                result = self.mul(result, base)
+            base = self.sqr(base)
+            e >>= 1
+        return result
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises on zero."""
+        if a == 0:
+            raise ZeroDivisionError("inverse of 0 in GF(2^m)")
+        if self._log is not None:
+            return self._exp[(self.order - 1) - self._log[a]]
+        # a^(2^m - 2) by square-and-multiply.
+        return self.pow(a, self.order - 2)
+
+    def trace(self, a: int) -> int:
+        """Absolute trace down to GF(2): sum of the m Frobenius conjugates."""
+        total = 0
+        term = a
+        for _ in range(self.m):
+            total ^= term
+            term = self.sqr(term)
+        return total
+
+    def artin_schreier_solve(self, u: int) -> Optional[int]:
+        """A solution ``y`` of ``y^2 + y = u``, or None when none exists.
+
+        The map ``f(y) = y^2 + y`` is GF(2)-linear with image of dimension
+        m-1 (exactly the trace-zero elements).  A row-reduced form of f is
+        precomputed once per field, making each solve m XOR steps; used by
+        the closed-form quadratic root finder in PinSketch decoding.
+        """
+        if self._as_rows is None:
+            self._build_artin_schreier()
+        rows = self._as_rows
+        y = 0
+        for pivot_bit, image, preimage in rows:
+            if u & pivot_bit:
+                u ^= image
+                y ^= preimage
+        return y if u == 0 else None
+
+    _as_rows: Optional[List[Tuple[int, int, int]]] = None
+
+    def _build_artin_schreier(self) -> None:
+        """Row-reduce the basis images of ``y -> y^2 + y`` over GF(2)."""
+        pairs = []
+        for bit in range(self.m):
+            basis = 1 << bit
+            pairs.append((self.sqr(basis) ^ basis, basis))
+        rows: List[Tuple[int, int, int]] = []
+        for image, preimage in pairs:
+            for pivot_bit, row_image, row_pre in rows:
+                if image & pivot_bit:
+                    image ^= row_image
+                    preimage ^= row_pre
+            if image:
+                pivot = 1 << (image.bit_length() - 1)
+                rows.append((pivot, image, preimage))
+        rows.sort(key=lambda r: -r[0])
+        self._as_rows = rows
+
+    def div(self, a: int, b: int) -> int:
+        """Field division ``a / b``."""
+        return self.mul(a, self.inv(b))
+
+    # ------------------------------------------------------- polynomial layer
+
+    @staticmethod
+    def poly_trim(p: List[int]) -> List[int]:
+        """Drop trailing zero coefficients in place and return the list."""
+        while p and p[-1] == 0:
+            p.pop()
+        return p
+
+    def poly_add(self, p: Sequence[int], q: Sequence[int]) -> List[int]:
+        """Polynomial addition (coefficient-wise XOR)."""
+        if len(p) < len(q):
+            p, q = q, p
+        out = list(p)
+        for i, coeff in enumerate(q):
+            out[i] ^= coeff
+        return self.poly_trim(out)
+
+    def poly_mul(self, p: Sequence[int], q: Sequence[int]) -> List[int]:
+        """Polynomial multiplication (schoolbook)."""
+        if not p or not q:
+            return []
+        out = [0] * (len(p) + len(q) - 1)
+        mul = self.mul
+        for i, a in enumerate(p):
+            if a == 0:
+                continue
+            for j, b in enumerate(q):
+                if b:
+                    out[i + j] ^= mul(a, b)
+        return self.poly_trim(out)
+
+    def poly_mod(self, p: Sequence[int], q: Sequence[int]) -> List[int]:
+        """Polynomial remainder ``p mod q``; ``q`` must be nonzero."""
+        if not q:
+            raise ZeroDivisionError("polynomial mod by zero")
+        rem = list(p)
+        self.poly_trim(rem)
+        dq = len(q) - 1
+        inv_lead = self.inv(q[-1])
+        mul = self.mul
+        while len(rem) - 1 >= dq and rem:
+            shift = len(rem) - 1 - dq
+            factor = mul(rem[-1], inv_lead)
+            for i, coeff in enumerate(q):
+                if coeff:
+                    rem[i + shift] ^= mul(factor, coeff)
+            self.poly_trim(rem)
+        return rem
+
+    def poly_gcd(self, p: Sequence[int], q: Sequence[int]) -> List[int]:
+        """Monic polynomial greatest common divisor."""
+        a, b = list(p), list(q)
+        self.poly_trim(a)
+        self.poly_trim(b)
+        while b:
+            a, b = b, self.poly_mod(a, b)
+        if a and a[-1] != 1:
+            inv_lead = self.inv(a[-1])
+            a = [self.mul(c, inv_lead) for c in a]
+        return a
+
+    def poly_monic(self, p: Sequence[int]) -> List[int]:
+        """Return the monic scalar multiple of ``p``."""
+        p = self.poly_trim(list(p))
+        if not p or p[-1] == 1:
+            return p
+        inv_lead = self.inv(p[-1])
+        return [self.mul(c, inv_lead) for c in p]
+
+    def poly_eval(self, p: Sequence[int], x: int) -> int:
+        """Evaluate ``p`` at ``x`` with Horner's rule."""
+        acc = 0
+        mul = self.mul
+        for coeff in reversed(p):
+            acc = mul(acc, x) ^ coeff
+        return acc
+
+    def poly_sqr_mod(self, p: Sequence[int], q: Sequence[int]) -> List[int]:
+        """Square a polynomial modulo ``q`` (cheap in characteristic 2)."""
+        if not p:
+            return []
+        out = [0] * (2 * len(p) - 1)
+        sqr = self.sqr
+        for i, coeff in enumerate(p):
+            if coeff:
+                out[2 * i] = sqr(coeff)
+        return self.poly_mod(out, q)
+
+    def poly_frobenius_mod(self, q: Sequence[int]) -> List[int]:
+        """Compute ``x^(2^m) mod q`` by m modular squarings."""
+        result: List[int] = [0, 1]  # the polynomial x
+        result = self.poly_mod(result, q)
+        for _ in range(self.m):
+            result = self.poly_sqr_mod(result, q)
+        return result
+
+
+class GF2Tower32(GF2m):
+    """GF(2^32) as the tower GF((2^16)^2): fast pure-Python arithmetic.
+
+    Elements are 32-bit ints ``(hi << 16) | lo`` representing ``hi*y + lo``
+    in GF(2^16)[y] / (y^2 + y + c), with ``c`` chosen so the quadratic is
+    irreducible (trace of c over GF(2) equals 1).  Multiplication becomes
+    three-and-a-bit GF(2^16) table multiplications (Karatsuba), roughly an
+    order of magnitude faster than windowed carry-less multiplication --
+    the same trick libminisketch uses with CPU-specific field backends.
+
+    The tower field is isomorphic to, but not identical with, the
+    polynomial-basis GF(2^32); sketches must be built and decoded with the
+    same representation on both sides, which holds process-wide via
+    :func:`default_field`.
+    """
+
+    def __init__(self):
+        # Intentionally no super().__init__: the base attributes are set up
+        # manually around the GF(2^16) subfield.
+        self.m = 32
+        self.order = 1 << 32
+        self.mask = self.order - 1
+        self.modulus = 0  # not meaningful in tower representation
+        self.sub = GF2m(16)
+        if self.sub._log is None:  # pragma: no cover - defensive
+            raise RuntimeError("GF(2^16) tables unavailable")
+        self._log = None
+        self._exp = None
+        # y^2 + y + c must be irreducible over GF(2^16), which holds exactly
+        # when the GF(2)-trace of c is 1; pick the smallest such c.
+        self.QUAD_C = next(
+            c for c in range(1, 1 << 16) if self._subfield_trace(c) == 1
+        )
+
+    def _subfield_trace(self, value: int) -> int:
+        """Trace of a GF(2^16) element down to GF(2)."""
+        total = 0
+        term = value
+        for _ in range(16):
+            total ^= term
+            term = self.sub.sqr(term)
+        return total
+
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        sub = self.sub
+        exp, log = sub._exp, sub._log
+        a1, a0 = a >> 16, a & 0xFFFF
+        b1, b0 = b >> 16, b & 0xFFFF
+        m1 = exp[log[a1] + log[b1]] if a1 and b1 else 0
+        m0 = exp[log[a0] + log[b0]] if a0 and b0 else 0
+        sa, sb = a1 ^ a0, b1 ^ b0
+        mx = exp[log[sa] + log[sb]] if sa and sb else 0
+        hi = mx ^ m0                     # (a1b0 + a0b1) + a1b1
+        lo = m0 ^ (exp[log[m1] + log[self.QUAD_C]] if m1 else 0)
+        return (hi << 16) | lo
+
+    def sqr(self, a: int) -> int:
+        if a == 0:
+            return 0
+        sub = self.sub
+        a1, a0 = a >> 16, a & 0xFFFF
+        s1 = sub.sqr(a1)
+        s0 = sub.sqr(a0)
+        lo = s0 ^ (sub.mul(s1, self.QUAD_C) if s1 else 0)
+        return (s1 << 16) | lo
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("inverse of 0 in GF(2^32)")
+        sub = self.sub
+        a1, a0 = a >> 16, a & 0xFFFF
+        # Norm over GF(2^16): a0^2 + a0*a1 + c*a1^2 (never zero for a != 0).
+        norm = sub.sqr(a0) ^ sub.mul(a0, a1) ^ sub.mul(self.QUAD_C, sub.sqr(a1))
+        inv_norm = sub.inv(norm)
+        # inverse = conjugate(a) / norm, conj(a) = a1*y + (a0 + a1).
+        hi = sub.mul(a1, inv_norm)
+        lo = sub.mul(a0 ^ a1, inv_norm)
+        return (hi << 16) | lo
+
+
+_FIELDS: Dict[int, GF2m] = {}
+
+
+def default_field(m: int = 32) -> GF2m:
+    """Shared per-process field instances (table construction is amortised).
+
+    ``m == 32`` returns the fast tower-field implementation; other sizes use
+    the generic polynomial-basis field.
+    """
+    if m not in _FIELDS:
+        _FIELDS[m] = GF2Tower32() if m == 32 else GF2m(m)
+    return _FIELDS[m]

@@ -1,0 +1,408 @@
+"""PinSketch: sketches of sets decodable to the symmetric difference.
+
+A sketch of capacity ``t`` over GF(2^m) stores the odd power sums
+``s_k = sum(x^k for x in S)`` for ``k = 1, 3, ..., 2t-1``.  Sketches are
+linear: XOR-ing two sketches yields the sketch of the symmetric difference
+of the underlying sets (paper section 4.2).  Decoding reconstructs up to
+``t`` elements via Berlekamp--Massey and Berlekamp-trace root finding, the
+same pipeline as a BCH decoder and as libminisketch.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.sketch.gf import GF2m, default_field
+
+
+class SketchDecodeError(ValueError):
+    """Decoding failed: the set difference exceeds the sketch capacity."""
+
+
+@lru_cache(maxsize=262144)
+def sketch_syndromes(element: int, capacity: int, m: int) -> Tuple[int, ...]:
+    """Odd power sums ``element^1, element^3, ..., element^(2t-1)``.
+
+    Cached process-wide: in the simulation every node adds the same
+    transaction ids, so each id's syndrome vector is computed once and
+    re-used as a cheap XOR by every node (see DESIGN.md performance notes).
+    """
+    field = default_field(m)
+    if element == 0 or element > field.mask:
+        raise ValueError(f"element {element} out of range for GF(2^{m})")
+    powers = [element]
+    x_squared = field.sqr(element)
+    current = element
+    for _ in range(capacity - 1):
+        current = field.mul(current, x_squared)
+        powers.append(current)
+    return tuple(powers)
+
+
+# Process-wide decode memoisation (syndromes -> frozenset | failure).
+# Bounded: cleared wholesale when full, which is simpler and almost as
+# effective as LRU for the flooding access pattern.
+_DECODE_CACHE: dict = {}
+_DECODE_CACHE_LIMIT = 200_000
+
+
+def _cache_store(key, value) -> None:
+    if len(_DECODE_CACHE) >= _DECODE_CACHE_LIMIT:
+        _DECODE_CACHE.clear()
+    _DECODE_CACHE[key] = value
+
+
+def clear_decode_cache() -> None:
+    """Drop all memoised decode results (used by CPU benchmarks)."""
+    _DECODE_CACHE.clear()
+
+
+class PinSketch:
+    """A fixed-capacity set sketch.
+
+    >>> a = PinSketch(capacity=8, m=16)
+    >>> b = PinSketch(capacity=8, m=16)
+    >>> for x in (10, 20, 30):
+    ...     a.add(x)
+    >>> for x in (20, 30, 40):
+    ...     b.add(x)
+    >>> sorted((a ^ b).decode())
+    [10, 40]
+    """
+
+    __slots__ = ("capacity", "m", "field", "_syndromes")
+
+    def __init__(self, capacity: int, m: int = 32, field: Optional[GF2m] = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.m = m
+        self.field = field if field is not None else default_field(m)
+        self._syndromes: List[int] = [0] * capacity
+
+    # ------------------------------------------------------------- mutation
+
+    def add(self, element: int) -> None:
+        """Toggle ``element`` in the sketched set (add == remove over GF(2))."""
+        vector = sketch_syndromes(element, self.capacity, self.m)
+        syndromes = self._syndromes
+        for i, value in enumerate(vector):
+            syndromes[i] ^= value
+
+    def add_all(self, elements: Iterable[int]) -> None:
+        """Toggle every element of ``elements``."""
+        for element in elements:
+            self.add(element)
+
+    def xor_syndromes(self, vector: Sequence[int]) -> None:
+        """XOR a precomputed syndrome vector (at least this capacity) in."""
+        if len(vector) < self.capacity:
+            raise ValueError("syndrome vector shorter than sketch capacity")
+        syndromes = self._syndromes
+        for i in range(self.capacity):
+            syndromes[i] ^= vector[i]
+
+    # ------------------------------------------------------------ combining
+
+    def copy(self) -> "PinSketch":
+        """Deep copy of this sketch."""
+        clone = PinSketch(self.capacity, self.m, self.field)
+        clone._syndromes = list(self._syndromes)
+        return clone
+
+    def truncated(self, capacity: int) -> "PinSketch":
+        """A lower-capacity view: the first ``capacity`` odd syndromes."""
+        if capacity > self.capacity:
+            raise ValueError(
+                f"cannot extend capacity {self.capacity} to {capacity}"
+            )
+        clone = PinSketch(capacity, self.m, self.field)
+        clone._syndromes = self._syndromes[:capacity]
+        return clone
+
+    def __xor__(self, other: "PinSketch") -> "PinSketch":
+        if self.m != other.m:
+            raise ValueError("cannot combine sketches over different fields")
+        capacity = min(self.capacity, other.capacity)
+        out = PinSketch(capacity, self.m, self.field)
+        out._syndromes = [
+            self._syndromes[i] ^ other._syndromes[i] for i in range(capacity)
+        ]
+        return out
+
+    def is_empty(self) -> bool:
+        """True when every syndrome is zero (difference is empty or aliased)."""
+        return all(value == 0 for value in self._syndromes)
+
+    # ----------------------------------------------------------- wire format
+
+    def serialize(self) -> bytes:
+        """Pack syndromes as fixed-width big-endian integers."""
+        width = (self.m + 7) // 8
+        return b"".join(value.to_bytes(width, "big") for value in self._syndromes)
+
+    @classmethod
+    def deserialize(cls, data: bytes, capacity: int, m: int = 32) -> "PinSketch":
+        """Inverse of :meth:`serialize`."""
+        width = (m + 7) // 8
+        if len(data) != capacity * width:
+            raise ValueError(
+                f"expected {capacity * width} bytes, got {len(data)}"
+            )
+        sketch = cls(capacity, m)
+        sketch._syndromes = [
+            int.from_bytes(data[i * width : (i + 1) * width], "big")
+            for i in range(capacity)
+        ]
+        return sketch
+
+    def wire_size(self) -> int:
+        """Serialized size in bytes."""
+        return self.capacity * ((self.m + 7) // 8)
+
+    # -------------------------------------------------------------- decoding
+
+    def decode(self, verify: bool = True) -> Set[int]:
+        """Recover the sketched set (|set| <= capacity) or raise.
+
+        Raises :class:`SketchDecodeError` when the difference exceeds the
+        capacity (detected via locator-degree and root-count checks, plus an
+        optional syndrome re-verification that catches aliasing).
+
+        Results are memoised process-wide by syndrome content: in a
+        simulated network the same difference set is decoded by many node
+        pairs as a transaction floods the overlay, so cache hits are
+        frequent and exact (same syndromes => same set).
+        """
+        if self.is_empty():
+            return set()
+        cache_key = (self.m, tuple(self._syndromes))
+        cached = _DECODE_CACHE.get(cache_key)
+        if cached is not None:
+            if isinstance(cached, SketchDecodeError):
+                raise cached
+            return set(cached)
+        try:
+            result = self._decode_uncached(verify)
+        except SketchDecodeError as exc:
+            _cache_store(cache_key, exc)
+            raise
+        _cache_store(cache_key, frozenset(result))
+        return result
+
+    def _decode_uncached(self, verify: bool) -> Set[int]:
+        full = self._full_syndromes()
+        locator = _berlekamp_massey(full, self.field)
+        degree = len(locator) - 1
+        if degree == 0 or degree > self.capacity:
+            raise SketchDecodeError(
+                f"locator degree {degree} exceeds capacity {self.capacity}"
+            )
+        roots = _find_roots(locator, self.field)
+        if len(roots) != degree:
+            raise SketchDecodeError(
+                f"locator of degree {degree} has only {len(roots)} roots"
+            )
+        elements = {self.field.inv(root) for root in roots}
+        if verify and not self._verify(elements):
+            raise SketchDecodeError("recovered elements fail syndrome check")
+        return elements
+
+    def _full_syndromes(self) -> List[int]:
+        """Expand to s_1..s_2t using s_{2k} = s_k^2 (characteristic 2)."""
+        t = self.capacity
+        full = [0] * (2 * t + 1)  # 1-indexed
+        for i, value in enumerate(self._syndromes):
+            full[2 * i + 1] = value
+        sqr = self.field.sqr
+        for k in range(1, t + 1):
+            full[2 * k] = sqr(full[k])
+        return full[1:]
+
+    def _verify(self, elements: Set[int]) -> bool:
+        check = PinSketch(self.capacity, self.m, self.field)
+        check.add_all(elements)
+        return check._syndromes == self._syndromes
+
+
+def _berlekamp_massey(syndromes: Sequence[int], field: GF2m) -> List[int]:
+    """Minimal LFSR (error locator) for the syndrome sequence.
+
+    Returns the connection polynomial ``C`` with ``C[0] == 1``; its degree is
+    the number of difference elements when decoding succeeds.
+    """
+    current: List[int] = [1]
+    previous: List[int] = [1]
+    length = 0
+    shift = 1
+    prev_discrepancy = 1
+    mul = field.mul
+    inv = field.inv
+    for n, s_n in enumerate(syndromes):
+        discrepancy = s_n
+        for i in range(1, length + 1):
+            if i < len(current) and current[i]:
+                discrepancy ^= mul(current[i], syndromes[n - i])
+        if discrepancy == 0:
+            shift += 1
+            continue
+        coefficient = mul(discrepancy, inv(prev_discrepancy))
+        update = [0] * shift + [mul(coefficient, c) for c in previous]
+        if 2 * length <= n:
+            saved = list(current)
+            current = _xor_poly(current, update)
+            previous = saved
+            length = n + 1 - length
+            prev_discrepancy = discrepancy
+            shift = 1
+        else:
+            current = _xor_poly(current, update)
+            shift += 1
+    while current and current[-1] == 0:
+        current.pop()
+    return current
+
+
+def _xor_poly(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    out = list(a) if len(a) >= len(b) else list(b)
+    shorter = b if len(a) >= len(b) else a
+    for i, coeff in enumerate(shorter):
+        out[i] ^= coeff
+    return out
+
+
+def _find_roots(poly: Sequence[int], field: GF2m) -> List[int]:
+    """Roots of ``poly`` in GF(2^m) via Berlekamp trace splitting.
+
+    Optimised for the decode hot path:
+
+    * degree-1 and degree-2 factors are solved in closed form (the
+      quadratic through the field's Artin-Schreier solver), which closes
+      most of the recursion tree without polynomial work;
+    * Tr(beta * x) is computed once modulo the *top-level* polynomial per
+      beta and cached; deeper recursion levels reduce the cached trace
+      modulo their factor (one ``poly_mod``) instead of re-running the m
+      modular squarings;
+    * polynomials that resist several split attempts (which only happens
+      for invalid locators from an over-capacity sketch) are rejected with
+      a Frobenius linearity check rather than exhausting every beta.
+
+    Returns fewer roots than the degree when the polynomial does not split
+    into distinct linear factors; callers treat that as a decode failure.
+    """
+    monic = field.poly_monic(list(poly))
+    if len(monic) <= 1:
+        return []
+    roots: List[int] = []
+    trace_cache: dict = {}
+    try:
+        _trace_split(monic, monic, field, roots, trace_cache)
+    except _NotFullySplittable:
+        pass
+    return roots
+
+
+class _NotFullySplittable(Exception):
+    """Internal: the locator has non-linear or repeated factors."""
+
+
+def _solve_quadratic(poly: Sequence[int], field: GF2m, out: List[int]) -> None:
+    """Closed-form roots of a monic quadratic x^2 + b x + c.
+
+    ``b == 0`` means a repeated root (x + sqrt(c))^2 -- invalid for a
+    PinSketch locator, whose roots are distinct.  Otherwise substituting
+    x = b y reduces to the Artin-Schreier equation y^2 + y = c / b^2.
+    """
+    c, b = poly[0], poly[1]
+    if b == 0:
+        raise _NotFullySplittable
+    u = field.mul(c, field.inv(field.sqr(b)))
+    y = field.artin_schreier_solve(u)
+    if y is None:
+        raise _NotFullySplittable
+    root_a = field.mul(b, y)
+    out.append(root_a)
+    out.append(root_a ^ b)  # the second solution is y + 1, i.e. +b after scaling
+
+
+def _trace_split(
+    poly: List[int],
+    top: Sequence[int],
+    field: GF2m,
+    out: List[int],
+    trace_cache: dict,
+) -> None:
+    """Recursively split a (presumed) product of distinct linear factors."""
+    degree = len(poly) - 1
+    if degree <= 0:
+        return
+    if degree == 1:
+        out.append(poly[0])  # monic x + c has root c (addition is XOR)
+        return
+    if degree == 2:
+        _solve_quadratic(poly, field, out)
+        return
+    failures = 0
+    for bit in range(field.m):
+        beta = 1 << bit
+        top_trace = trace_cache.get(beta)
+        if top_trace is None:
+            top_trace = _trace_poly(beta, top, field)
+            trace_cache[beta] = top_trace
+        trace = field.poly_mod(top_trace, poly)
+        factor = field.poly_gcd(poly, trace)
+        if 0 < len(factor) - 1 < degree:
+            other = _poly_divide_exact(poly, factor, field)
+            _trace_split(field.poly_monic(factor), top, field, out, trace_cache)
+            _trace_split(field.poly_monic(other), top, field, out, trace_cache)
+            return
+        failures += 1
+        if failures == 4 and not _is_fully_linear(poly, field):
+            raise _NotFullySplittable
+    raise _NotFullySplittable
+
+
+def _is_fully_linear(poly: Sequence[int], field: GF2m) -> bool:
+    """Whether ``poly`` is a product of distinct linear factors.
+
+    Checks gcd(poly, x^(2^m) - x) == poly; only invoked when trace
+    splitting stalls, i.e. almost exclusively on invalid locators.
+    """
+    frob = field.poly_frobenius_mod(poly)           # x^(2^m) mod poly
+    frob_minus_x = field.poly_add(frob, [0, 1])
+    linear_part = field.poly_gcd(list(poly), frob_minus_x)
+    return len(linear_part) == len(poly)
+
+
+def _trace_poly(beta: int, modulus: Sequence[int], field: GF2m) -> List[int]:
+    """Tr(beta * x) mod ``modulus`` = sum_{i<m} (beta x)^(2^i) mod modulus."""
+    term = field.poly_mod([0, beta], modulus)
+    total = list(term)
+    for _ in range(field.m - 1):
+        term = field.poly_sqr_mod(term, modulus)
+        total = field.poly_add(total, term)
+    return total
+
+
+def _poly_divide_exact(
+    numerator: Sequence[int], denominator: Sequence[int], field: GF2m
+) -> List[int]:
+    """Exact polynomial division (remainder must be zero)."""
+    rem = list(numerator)
+    field.poly_trim(rem)
+    dd = len(denominator) - 1
+    inv_lead = field.inv(denominator[-1])
+    quotient = [0] * (len(rem) - dd)
+    mul = field.mul
+    while rem and len(rem) - 1 >= dd:
+        shift = len(rem) - 1 - dd
+        factor = mul(rem[-1], inv_lead)
+        quotient[shift] = factor
+        for i, coeff in enumerate(denominator):
+            if coeff:
+                rem[i + shift] ^= mul(factor, coeff)
+        field.poly_trim(rem)
+    if rem:
+        raise ArithmeticError("polynomial division left a remainder")
+    return quotient

@@ -1,0 +1,15 @@
+"""Workload generation: synthetic Ethereum-like transaction traces.
+
+The paper injects transactions "based on a realistic dataset of Ethereum
+transactions [Pierro & Rocha 2019]" at 20 tx/s with 250-byte transactions
+(section 6.1).  That dataset is not available offline, so
+:class:`EthereumTraceGenerator` synthesises a trace with the same marginals
+the experiments consume: Poisson arrivals at a configurable rate, log-normal
+gas-price-like fees with a heavy low-fee tail (which drives the Highest-Fee
+starvation in Fig. 8), sizes concentrated around 250 bytes, and a Zipfian
+sender population.  See DESIGN.md section 3 (substitutions).
+"""
+
+from repro.workload.ethtrace import EthereumTraceGenerator, TraceTransaction
+
+__all__ = ["EthereumTraceGenerator", "TraceTransaction"]

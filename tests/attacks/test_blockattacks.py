@@ -1,0 +1,89 @@
+"""Detection tests for the three block-building attacks."""
+
+import pytest
+
+from repro.attacks.blockattacks import (
+    BlockspaceCensorNode,
+    InjectingNode,
+    ReorderingNode,
+    make_block_attacker_factory,
+)
+from repro.core.policies import ViolationKind
+from tests.conftest import make_sim
+
+
+def run_attack(attacker_cls, censor_predicate=None, num_nodes=12):
+    factory = make_block_attacker_factory(attacker_cls, censor_predicate)
+    sim = make_sim(
+        num_nodes=num_nodes, malicious_ids=[0], attacker_factory=factory
+    )
+    for i in range(6):
+        sim.inject_at(0.2 + 0.1 * i, (i % (num_nodes - 1)) + 1, fee=10)
+    sim.run(10.0)  # converge mempools
+    sim.nodes[0].on_leader_elected()  # attacker builds its block
+    sim.run(20.0)
+    return sim
+
+
+def exposure_kinds(sim):
+    key = sim.directory.key_of(0)
+    kinds = set()
+    for nid in sim.correct_ids:
+        blame = sim.nodes[nid].acct.exposed.get(key)
+        if blame is not None and blame.block_violation is not None:
+            kinds.add(blame.block_violation.violation.kind)
+    return kinds
+
+
+def exposed_count(sim):
+    key = sim.directory.key_of(0)
+    return sum(
+        1 for nid in sim.correct_ids if sim.nodes[nid].acct.is_exposed(key)
+    )
+
+
+def test_injection_detected_as_uncommitted_tx():
+    sim = run_attack(InjectingNode)
+    assert exposed_count(sim) == len(sim.correct_ids)
+    assert exposure_kinds(sim) == {ViolationKind.UNCOMMITTED_TX_IN_BODY}
+
+
+def test_reordering_detected_as_order_deviation():
+    sim = run_attack(ReorderingNode)
+    assert exposed_count(sim) == len(sim.correct_ids)
+    assert exposure_kinds(sim) == {ViolationKind.ORDER_DEVIATION}
+
+
+def test_blockspace_censorship_detected_as_missing_tx():
+    sim = run_attack(BlockspaceCensorNode, censor_predicate=lambda i: i % 2 == 0)
+    attacker = sim.nodes[0]
+    assert attacker.censored_in_blocks  # it actually censored something
+    assert exposed_count(sim) == len(sim.correct_ids)
+    assert exposure_kinds(sim) == {ViolationKind.MISSING_COMMITTED_TX}
+
+
+def test_attacked_block_still_settles():
+    # Inspection is separate from validation: the bad block is in the
+    # chain even though its creator is exposed (paper section 4.3).
+    sim = run_attack(ReorderingNode)
+    for nid in sim.correct_ids:
+        assert sim.nodes[nid].ledger.height == 0
+
+
+def test_injected_ids_recorded_by_attacker():
+    sim = run_attack(InjectingNode)
+    attacker = sim.nodes[0]
+    block = attacker.ledger.block_at(0)
+    assert attacker.injected_ids
+    assert attacker.injected_ids <= set(block.tx_ids)
+
+
+def test_honest_leader_after_attack_is_clean():
+    sim = run_attack(ReorderingNode)
+    sim.inject_at(sim.loop.now + 0.5, 2, fee=10)
+    sim.run(sim.loop.now + 8.0)
+    sim.nodes[3].on_leader_elected()
+    sim.run(sim.loop.now + 10.0)
+    key3 = sim.directory.key_of(3)
+    for nid in sim.correct_ids:
+        assert not sim.nodes[nid].acct.is_exposed(key3)

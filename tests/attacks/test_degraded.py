@@ -1,0 +1,98 @@
+"""Accuracy under degraded behaviour: slow nodes and spam."""
+
+from repro.attacks.degraded import SlowNode, SpamClientNode
+from repro.core.config import LOConfig
+from tests.conftest import make_sim
+
+
+def slow_factory(delay):
+    def factory(**kwargs):
+        node = SlowNode(**kwargs)
+        node.extra_delay_s = delay
+        return node
+
+    return factory
+
+
+def test_slow_node_with_paper_budget_never_exposed():
+    # 0.8 s processing delay against a 1 s timeout with 3 retries: slow but
+    # within the retry budget once responses start flowing.
+    sim = make_sim(
+        num_nodes=10, malicious_ids=[4],
+        attacker_factory=slow_factory(0.8),
+    )
+    for i in range(6):
+        sim.inject_at(0.2 + 0.3 * i, i % 10, fee=10)
+    sim.run(40.0)
+    key = sim.directory.key_of(4)
+    # No false positives: never exposed.
+    for nid in sim.nodes:
+        assert not sim.nodes[nid].acct.is_exposed(key)
+
+
+def test_slow_node_converges_eventually():
+    sim = make_sim(
+        num_nodes=10, malicious_ids=[4],
+        attacker_factory=slow_factory(0.8),
+    )
+    sim.inject_at(0.5, 0, fee=10)
+    sim.run(30.0)
+    item = sim.mempool_tracker.items()[0]
+    assert item in sim.nodes[4].log
+
+
+def test_slow_node_not_perpetually_suspected():
+    sim = make_sim(
+        num_nodes=10, malicious_ids=[4],
+        attacker_factory=slow_factory(0.8),
+    )
+    for i in range(5):
+        sim.inject_at(0.2 + 0.3 * i, i % 10, fee=10)
+    sim.run(30.0)
+    # Quiet period: the slow node answers everything outstanding.
+    sim.run(80.0)
+    key = sim.directory.key_of(4)
+    suspecters = [
+        nid for nid in sim.correct_ids if sim.nodes[nid].acct.is_suspected(key)
+    ]
+    assert not suspecters
+
+
+def test_invalid_spam_never_committed():
+    sim = make_sim(
+        num_nodes=8, malicious_ids=[0],
+        attacker_factory=lambda **kw: SpamClientNode(**kw),
+    )
+    spammer = sim.nodes[0]
+    accepted = spammer.spam_invalid(count=10)
+    assert accepted == 0
+    assert len(spammer.log) == 0
+    sim.run(10.0)
+    # Nothing leaked into the network either.
+    for node in sim.nodes.values():
+        assert len(node.log) == 0
+
+
+def test_dust_committed_but_kept_out_of_blocks():
+    config = LOConfig(min_fee=5)
+    sim = make_sim(
+        num_nodes=8, config=config, malicious_ids=[0],
+        attacker_factory=lambda **kw: SpamClientNode(**kw),
+    )
+    spammer = sim.nodes[0]
+    dust = spammer.spam_dust(count=4, fee=1)
+    good = sim.nodes[2].create_transaction(fee=50)
+    sim.run(10.0)
+    # Dust is committed everywhere (Inclusion of All Transactions)...
+    for node in sim.nodes.values():
+        for tx in dust:
+            assert tx.sketch_id in node.log
+    # ...but blocks exclude it, and inspection agrees.
+    sim.nodes[3].on_leader_elected()
+    sim.run(20.0)
+    block = sim.nodes[1].ledger.block_at(0)
+    assert good.sketch_id in block.tx_ids
+    for tx in dust:
+        assert tx.sketch_id not in block.tx_ids
+    for node in sim.nodes.values():
+        assert not node.acct.exposed

@@ -1,0 +1,58 @@
+"""Detection tests for the pure equivocation (fork) attacker."""
+
+from repro.attacks import EquivocatingNode
+from tests.conftest import make_sim
+
+
+def equivocator_sim(num_nodes=14):
+    return make_sim(
+        num_nodes=num_nodes,
+        malicious_ids=[0],
+        attacker_factory=lambda **kwargs: EquivocatingNode(**kwargs),
+    )
+
+
+def test_fork_produces_conflicting_headers():
+    sim = equivocator_sim()
+    attacker = sim.nodes[0]
+    attacker.create_transaction(fee=10)
+    honest = attacker._header_for_peer(2)   # even peer: fork A (honest)
+    forked = attacker._header_for_peer(3)   # odd peer: fork B
+    assert honest.seq == forked.seq
+    assert honest.digests != forked.digests
+    assert honest.signature_valid() and forked.signature_valid()
+    assert not honest.consistent_with(forked)
+
+
+def test_equivocator_eventually_exposed_network_wide():
+    sim = equivocator_sim()
+    sim.inject_at(0.3, 0, fee=10)  # attacker originates a tx -> must commit
+    sim.inject_at(0.6, 5, fee=10)
+    sim.run(45.0)
+    key = sim.directory.key_of(0)
+    exposed = sum(
+        1 for nid in sim.correct_ids if sim.nodes[nid].acct.is_exposed(key)
+    )
+    assert exposed == len(sim.correct_ids)
+
+
+def test_exposure_evidence_is_equivocation():
+    sim = equivocator_sim()
+    sim.inject_at(0.3, 0, fee=10)
+    sim.inject_at(0.6, 5, fee=10)
+    sim.run(45.0)
+    key = sim.directory.key_of(0)
+    blames = [
+        sim.nodes[nid].acct.exposed.get(key) for nid in sim.correct_ids
+    ]
+    assert all(b is not None and b.equivocation is not None for b in blames)
+    assert all(b.verify() for b in blames)
+
+
+def test_correct_nodes_not_exposed_alongside():
+    sim = equivocator_sim()
+    sim.inject_at(0.3, 2, fee=10)
+    sim.run(45.0)
+    correct_keys = {sim.directory.key_of(i) for i in sim.correct_ids}
+    for nid in sim.correct_ids:
+        assert correct_keys.isdisjoint(sim.nodes[nid].acct.exposed)

@@ -1,0 +1,69 @@
+"""Unit tests for the Flood baseline."""
+
+from repro.baselines import BaselineSimulation, FloodNode
+from repro.net.latency import ConstantLatencyModel
+
+
+def make_sim(n=10, seed=3):
+    return BaselineSimulation(
+        FloodNode, num_nodes=n, seed=seed,
+        latency_model=ConstantLatencyModel(0.02),
+    )
+
+
+def test_transaction_floods_to_everyone():
+    sim = make_sim()
+    tx = sim.nodes[0].create_transaction(fee=10)
+    sim.run(5.0)
+    assert sim.convergence_fraction(tx.sketch_id) == 1.0
+
+
+def test_content_arrives_everywhere():
+    sim = make_sim()
+    tx = sim.nodes[0].create_transaction(fee=10)
+    sim.run(5.0)
+    for node in sim.nodes.values():
+        assert node.txs[tx.sketch_id].txid == tx.txid
+
+
+def test_no_redundant_getdata_for_known_tx():
+    sim = make_sim()
+    tx = sim.nodes[0].create_transaction(fee=10)
+    sim.run(5.0)
+    before = sim.network.overhead_by_type().get("flood/getdata", 0)
+    # Re-announcing a known tx triggers no new getdata.
+    sim.nodes[1]._queue_announce(tx.sketch_id, skip_peer=-1)
+    sim.run(7.0)
+    after = sim.network.overhead_by_type().get("flood/getdata", 0)
+    assert after == before
+
+
+def test_overhead_counts_inventories_not_content():
+    sim = make_sim()
+    sim.nodes[0].create_transaction(fee=10, size_bytes=250)
+    sim.run(5.0)
+    by_type = sim.network.overhead_by_type()
+    assert by_type.get("flood/inv", 0) > 0
+    assert "flood/tx" not in by_type  # content is payload, not overhead
+    assert sim.network.total_payload_bytes() > 0
+
+
+def test_overhead_scales_with_tx_count():
+    sim = make_sim()
+    sim.inject_workload(rate_per_s=5.0, duration_s=4.0)
+    sim.run(8.0)
+    low = sim.total_overhead_bytes()
+    sim2 = make_sim()
+    sim2.inject_workload(rate_per_s=20.0, duration_s=4.0)
+    sim2.run(8.0)
+    high = sim2.total_overhead_bytes()
+    assert high > 2 * low
+
+
+def test_latency_tracked():
+    sim = make_sim()
+    sim.nodes[0].create_transaction(fee=1)
+    sim.run(5.0)
+    latencies = sim.tracker.all_latencies()
+    assert len(latencies) == 10
+    assert all(0 <= l < 2.0 for l in latencies)

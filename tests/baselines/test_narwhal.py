@@ -1,0 +1,73 @@
+"""Unit tests for the Narwhal baseline."""
+
+from repro.baselines import BaselineSimulation, NarwhalNode
+from repro.net.latency import ConstantLatencyModel
+
+
+def make_sim(n=9, seed=3):
+    return BaselineSimulation(
+        NarwhalNode, num_nodes=n, seed=seed,
+        latency_model=ConstantLatencyModel(0.02),
+    )
+
+
+def test_quorum_size_is_over_two_thirds():
+    sim = make_sim(n=9)
+    assert sim.nodes[0].quorum_size == 7
+    assert make_sim(n=10).nodes[0].quorum_size == 7
+
+
+def test_batches_deliver_transactions_to_everyone():
+    sim = make_sim()
+    tx = sim.nodes[0].create_transaction(fee=10)
+    sim.run(3.0)
+    assert sim.convergence_fraction(tx.sketch_id) == 1.0
+
+
+def test_batches_get_certified_and_headers_broadcast():
+    sim = make_sim()
+    sim.nodes[0].create_transaction(fee=10)
+    sim.run(3.0)
+    creator = sim.nodes[0]
+    assert creator._certified == {0}
+    by_type = sim.network.overhead_by_type()
+    assert by_type.get("nw/header", 0) > 0
+    assert by_type.get("nw/ack", 0) > 0
+
+
+def test_batching_accumulates_pending_txs():
+    sim = make_sim()
+    node = sim.nodes[0]
+    for i in range(5):
+        node.create_transaction(fee=i + 1)
+    sim.run(2.0)
+    batch = node._my_batches[0]
+    assert len(batch.txs) == 5
+
+
+def test_no_batch_without_transactions():
+    sim = make_sim()
+    sim.run(3.0)
+    assert all(not node._my_batches for node in sim.nodes.values())
+    assert sim.total_overhead_bytes() == 0
+
+
+def test_header_cost_scales_with_quorum():
+    small = make_sim(n=6)
+    small.nodes[0].create_transaction(fee=1)
+    small.run(3.0)
+    large = make_sim(n=18)
+    large.nodes[0].create_transaction(fee=1)
+    large.run(3.0)
+    small_header = small.network.overhead_by_type()["nw/header"]
+    large_header = large.network.overhead_by_type()["nw/header"]
+    # Header bytes grow superlinearly with n (n recipients x n-sized cert).
+    assert large_header > 4 * small_header
+
+
+def test_latencies_are_sub_second_locally():
+    sim = make_sim()
+    sim.nodes[0].create_transaction(fee=10)
+    sim.run(3.0)
+    latencies = sim.tracker.all_latencies()
+    assert latencies and max(latencies) < 1.0

@@ -1,0 +1,131 @@
+"""Unit and property tests for the Bloom Clock."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bloomclock import BloomClock, ClockComparison
+
+items = st.lists(
+    st.integers(min_value=1, max_value=2 ** 32 - 1), max_size=40
+)
+
+
+def test_empty_clocks_equal():
+    assert BloomClock().compare(BloomClock()) is ClockComparison.EQUAL
+
+
+def test_add_makes_after():
+    a, b = BloomClock(), BloomClock()
+    a.add(123)
+    assert a.compare(b) is ClockComparison.AFTER
+    assert b.compare(a) is ClockComparison.BEFORE
+
+
+def test_concurrent_detected():
+    a, b = BloomClock(cells=4), BloomClock(cells=4)
+    # Find two items in different cells.
+    x, y = 1, 2
+    while BloomClock(cells=4).cell_of(x) == BloomClock(cells=4).cell_of(y):
+        y += 1
+    a.add(x)
+    b.add(y)
+    assert a.compare(b) is ClockComparison.CONCURRENT
+
+
+@given(added=items)
+@settings(max_examples=80)
+def test_superset_always_dominates(added):
+    base = BloomClock()
+    base.add_all(added)
+    extended = base.copy()
+    extended.add(999999)
+    assert extended.dominates(base)
+    assert extended.compare(base) in (
+        ClockComparison.AFTER, ClockComparison.EQUAL
+    )
+
+
+@given(sa=st.sets(st.integers(min_value=1, max_value=2 ** 32 - 1), max_size=30),
+       sb=st.sets(st.integers(min_value=1, max_value=2 ** 32 - 1), max_size=30))
+@settings(max_examples=80)
+def test_estimate_is_lower_bound(sa, sb):
+    a, b = BloomClock(), BloomClock()
+    a.add_all(sa)
+    b.add_all(sb)
+    assert a.estimate_difference(b) <= len(sa ^ sb)
+
+
+def test_estimate_exact_without_collisions():
+    a, b = BloomClock(cells=1024), BloomClock(cells=1024)
+    a.add_all({1, 2, 3})
+    b.add_all({1, 2, 3, 4, 5})
+    # With many cells and few items, collisions are unlikely.
+    assert a.estimate_difference(b) == 2
+
+
+def test_flagged_cells_cover_differences():
+    a, b = BloomClock(), BloomClock()
+    a.add_all({10, 20})
+    b.add_all({10})
+    flagged = a.flagged_cells(b)
+    assert a.cell_of(20) in flagged
+    assert a.cell_of(10) not in flagged or a.cell_of(10) == a.cell_of(20)
+
+
+def test_total_tracks_count():
+    clock = BloomClock()
+    clock.add_all(range(1, 11))
+    assert clock.total == 10
+
+
+def test_serialize_roundtrip():
+    clock = BloomClock(cells=32)
+    clock.add_all({7, 77, 777})
+    data = clock.serialize()
+    assert len(data) == 68 == clock.wire_size()
+    restored = BloomClock.deserialize(data, cells=32)
+    assert restored == clock
+
+
+def test_serialize_wrong_length_rejected():
+    with pytest.raises(ValueError):
+        BloomClock.deserialize(b"\x00" * 5, cells=32)
+
+
+def test_counter_saturation_in_serialization():
+    clock = BloomClock(cells=1)
+    clock.counters[0] = 0x1FFFF
+    clock.total = 0x1FFFF
+    data = clock.serialize()
+    restored = BloomClock.deserialize(data, cells=1)
+    assert restored.counters[0] == 0xFFFF  # saturated, not wrapped
+
+
+def test_incompatible_cell_counts_rejected():
+    with pytest.raises(ValueError):
+        BloomClock(cells=8).compare(BloomClock(cells=16))
+
+
+def test_cell_of_is_stable_and_in_range():
+    clock = BloomClock(cells=32)
+    for item in (1, 2 ** 31, 999999):
+        cell = clock.cell_of(item)
+        assert 0 <= cell < 32
+        assert cell == clock.cell_of(item)
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        BloomClock(cells=0)
+    with pytest.raises(ValueError):
+        BloomClock(cells=4, counters=[1, 2])
+
+
+def test_hashable_and_copy_independent():
+    a = BloomClock(cells=4)
+    a.add(3)
+    b = a.copy()
+    assert a == b and hash(a) == hash(b)
+    b.add(5)
+    assert a != b

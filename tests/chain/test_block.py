@@ -1,0 +1,66 @@
+"""Unit tests for blocks and the order seed."""
+
+import pytest
+
+from repro.chain import Block, block_order_seed
+from repro.chain.block import GENESIS_HASH, sign_block
+from repro.crypto import KeyPair
+
+
+def make_block(tx_ids=(1, 2, 3), height=0, prev=GENESIS_HASH, seq=2):
+    kp = KeyPair.generate(seed=b"miner")
+    return sign_block(kp, height, prev, tx_ids, seq, created_at=1.5)
+
+
+def test_signed_block_verifies():
+    block = make_block()
+    assert block.signature_valid()
+
+
+def test_tampered_body_fails_verification():
+    block = make_block()
+    forged = Block(
+        creator=block.creator,
+        height=block.height,
+        prev_hash=block.prev_hash,
+        tx_ids=(9, 9, 9),
+        commit_seq=block.commit_seq,
+        created_at=block.created_at,
+        signature=block.signature,
+    )
+    assert not forged.signature_valid()
+
+
+def test_block_hash_changes_with_content():
+    a = make_block(tx_ids=(1,))
+    b = make_block(tx_ids=(2,))
+    assert a.block_hash != b.block_hash
+
+
+def test_block_hash_is_deterministic():
+    assert make_block().block_hash == make_block().block_hash
+
+
+def test_invalid_height_rejected():
+    kp = KeyPair.generate(seed=b"m")
+    with pytest.raises(ValueError):
+        sign_block(kp, -1, GENESIS_HASH, (), 0, 0.0)
+
+
+def test_invalid_prev_hash_rejected():
+    kp = KeyPair.generate(seed=b"m")
+    with pytest.raises(ValueError):
+        sign_block(kp, 0, b"short", (), 0, 0.0)
+
+
+def test_wire_size_scales_with_txs():
+    small = make_block(tx_ids=(1,))
+    large = make_block(tx_ids=tuple(range(1, 101)))
+    assert large.wire_size() - small.wire_size() == 4 * 99
+
+
+def test_order_seed_depends_on_prev_hash_and_bundle():
+    h1, h2 = b"\x01" * 32, b"\x02" * 32
+    assert block_order_seed(h1, 0) != block_order_seed(h2, 0)
+    assert block_order_seed(h1, 0) != block_order_seed(h1, 1)
+    assert block_order_seed(h1, 3) == block_order_seed(h1, 3)

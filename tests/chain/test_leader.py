@@ -1,0 +1,109 @@
+"""Unit tests for the random leader schedule."""
+
+import random
+
+import pytest
+
+from repro.chain import LeaderSchedule
+from repro.sim import EventLoop
+
+
+def run_schedule(duration, mean=1.0, nodes=None, eligible=None, seed=1):
+    loop = EventLoop()
+    leaders = []
+    schedule = LeaderSchedule(
+        loop,
+        node_ids=nodes or list(range(10)),
+        mean_block_time=mean,
+        rng=random.Random(seed),
+        on_leader=leaders.append,
+        eligible=eligible,
+    )
+    schedule.start()
+    loop.run_until(duration)
+    return schedule, leaders
+
+
+def test_block_rate_approximates_mean():
+    _, leaders = run_schedule(duration=600.0, mean=10.0)
+    # ~60 expected; allow generous tolerance.
+    assert 35 <= len(leaders) <= 90
+
+
+def test_leaders_drawn_from_node_set():
+    _, leaders = run_schedule(duration=100.0, mean=1.0, nodes=[3, 5, 7])
+    assert set(leaders) <= {3, 5, 7}
+    assert len(set(leaders)) > 1
+
+
+def test_eligibility_filter():
+    _, leaders = run_schedule(
+        duration=100.0, mean=1.0, eligible=lambda n: n % 2 == 0
+    )
+    assert all(leader % 2 == 0 for leader in leaders)
+
+
+def test_no_eligible_nodes_skips_election():
+    schedule, leaders = run_schedule(
+        duration=50.0, mean=1.0, eligible=lambda n: False
+    )
+    assert leaders == []
+    assert schedule.elections == 0
+
+
+def test_stop_halts_elections():
+    loop = EventLoop()
+    leaders = []
+    schedule = LeaderSchedule(
+        loop, [0, 1], 1.0, random.Random(2), leaders.append
+    )
+    schedule.start()
+    loop.run_until(10.0)
+    count = len(leaders)
+    schedule.stop()
+    loop.run_until(50.0)
+    assert len(leaders) == count
+
+
+def test_start_is_idempotent():
+    loop = EventLoop()
+    leaders = []
+    schedule = LeaderSchedule(
+        loop, [0], 1.0, random.Random(3), leaders.append
+    )
+    schedule.start()
+    schedule.start()
+    loop.run_until(20.0)
+    # One schedule stream only (no doubled rate): ~20 elections, not ~40.
+    assert len(leaders) < 35
+
+
+def test_invalid_parameters_rejected():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        LeaderSchedule(loop, [0], 0.0, random.Random(0), lambda n: None)
+    with pytest.raises(ValueError):
+        LeaderSchedule(loop, [], 1.0, random.Random(0), lambda n: None)
+
+
+def test_min_gap_enforced():
+    loop = EventLoop()
+    times = []
+    schedule = LeaderSchedule(
+        loop, [0, 1], mean_block_time=2.0, rng=random.Random(4),
+        on_leader=lambda n: times.append(loop.now), min_gap=1.0,
+    )
+    schedule.start()
+    loop.run_until(200.0)
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert gaps and min(gaps) >= 1.0
+    # Mean preserved: min_gap + Exp(mean - min_gap) has the requested mean.
+    mean_gap = sum(gaps) / len(gaps)
+    assert 1.5 < mean_gap < 2.6
+
+
+def test_min_gap_validation():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        LeaderSchedule(loop, [0], 1.0, random.Random(0), lambda n: None,
+                       min_gap=1.0)

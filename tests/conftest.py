@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.core.config import LOConfig
+from repro.experiments.harness import LOSimulation, SimulationParams
+from repro.net.latency import ConstantLatencyModel
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for tests."""
+    return random.Random(1234)
+
+
+@pytest.fixture
+def fast_config():
+    """A config tuned for small, fast simulations."""
+    return LOConfig(sync_interval_s=0.5, request_timeout_s=0.5)
+
+
+def make_sim(
+    num_nodes=12,
+    seed=7,
+    config=None,
+    malicious_ids=(),
+    attacker_factory=None,
+    enable_blocks=False,
+    constant_latency=0.02,
+):
+    """Build a small LO simulation with cheap constant latencies."""
+    return LOSimulation(
+        SimulationParams(
+            num_nodes=num_nodes,
+            seed=seed,
+            config=config or LOConfig(),
+            latency_model=ConstantLatencyModel(constant_latency),
+            malicious_ids=list(malicious_ids),
+            attacker_factory=attacker_factory,
+            enable_blocks=enable_blocks,
+        )
+    )
+
+
+@pytest.fixture
+def small_sim():
+    """A 12-node correct-only simulation."""
+    return make_sim()

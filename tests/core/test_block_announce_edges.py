@@ -1,0 +1,108 @@
+"""Edge cases in block announcement handling."""
+
+from repro.chain.block import sign_block
+from repro.core.reconciliation import BlockAnnounce
+from tests.conftest import make_sim
+
+
+def converged_sim(num_nodes=8):
+    sim = make_sim(num_nodes=num_nodes)
+    for i in range(4):
+        sim.inject_at(0.2 + 0.2 * i, i % num_nodes, fee=10)
+    sim.run(8.0)
+    return sim
+
+
+def test_unsigned_block_is_dropped():
+    sim = converged_sim()
+    builder = sim.nodes[0]
+    block = builder.builder.build(
+        builder.log, builder.bundles, builder.ledger, created_at=sim.loop.now
+    )
+    forged = sign_block(
+        builder.keypair, block.height, block.prev_hash, block.tx_ids,
+        block.commit_seq, block.created_at,
+    )
+    bad = type(forged)(
+        creator=forged.creator,
+        height=forged.height,
+        prev_hash=forged.prev_hash,
+        tx_ids=forged.tx_ids,
+        commit_seq=forged.commit_seq,
+        created_at=forged.created_at,
+        signature=b"\x00" * 32,
+    )
+    announce = BlockAnnounce(
+        block=bad, header=builder.header(),
+        bundle_ids=tuple(b.ids for b in builder.bundles),
+    )
+    target = sim.nodes[3]
+    sim.network.send(0, 3, "lo/block", announce, wire_bytes=100,
+                     is_overhead=False)
+    sim.run(sim.loop.now + 2.0)
+    assert target.ledger.height == -1  # not settled
+
+
+def test_malformed_announce_context_raises_suspicion():
+    sim = converged_sim()
+    builder = sim.nodes[0]
+    block = builder.builder.build(
+        builder.log, builder.bundles, builder.ledger, created_at=sim.loop.now
+    )
+    # Bundle ids that do not hash-chain to the signed header.
+    announce = BlockAnnounce(
+        block=block,
+        header=builder.header(),
+        bundle_ids=tuple((9999,) for _ in builder.bundles),
+    )
+    before = sim.counter.total("suspicions_raised")
+    sim.network.send(0, 3, "lo/block", announce, wire_bytes=100,
+                     is_overhead=False)
+    sim.run(sim.loop.now + 2.0)
+    target = sim.nodes[3]
+    # Settled (inspection is separate from validation) but unjudgeable:
+    # the creator was suspected pending a usable context.  (The suspicion
+    # clears again once the -- otherwise correct -- creator keeps
+    # responding to syncs: temporal accuracy.)
+    assert target.ledger.height == 0
+    assert sim.counter.total("suspicions_raised") > before
+    assert not target.acct.is_exposed(builder.public_key)
+
+
+def test_duplicate_announce_processed_once():
+    sim = converged_sim()
+    sim.nodes[0].on_leader_elected()
+    sim.run(sim.loop.now + 5.0)
+    heights = {n.ledger.height for n in sim.nodes.values()}
+    assert heights == {0}
+    # Replay the same block: nothing changes.
+    builder = sim.nodes[0]
+    block = builder.ledger.block_at(0)
+    announce = BlockAnnounce(
+        block=block,
+        header=builder.header_at(block.commit_seq) or builder.header(),
+        bundle_ids=tuple(
+            b.ids for b in builder.bundles[: block.commit_seq]
+        ),
+    )
+    sim.network.send(0, 3, "lo/block", announce, wire_bytes=100,
+                     is_overhead=False)
+    sim.run(sim.loop.now + 3.0)
+    assert sim.nodes[3].ledger.height == 0
+
+
+def test_out_of_order_blocks_buffered():
+    sim = converged_sim(num_nodes=6)
+    # Build two blocks back-to-back at one node, deliver the second first
+    # to another node via a direct link manipulation.
+    sim.network.block_link(0, 4)  # node 4 misses direct deliveries from 0
+    sim.nodes[0].on_leader_elected()
+    sim.run(sim.loop.now + 4.0)
+    sim.inject_at(sim.loop.now + 0.2, 1, fee=10)
+    sim.run(sim.loop.now + 4.0)
+    sim.nodes[1].on_leader_elected()
+    sim.run(sim.loop.now + 6.0)
+    # Everyone, including node 4 (which got block 0 only via gossip),
+    # settles both blocks in order.
+    for node in sim.nodes.values():
+        assert node.ledger.height == 1

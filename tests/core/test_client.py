@@ -1,0 +1,123 @@
+"""Tests for light clients (stage I submission and status queries)."""
+
+from repro.core.client import LightClient
+from tests.conftest import make_sim
+
+
+def client_in(sim, seed=b"test-client"):
+    return LightClient(sim.loop, sim.network, seed=seed)
+
+
+def test_submit_gets_signed_acks():
+    sim = make_sim(num_nodes=6)
+    client = client_in(sim)
+    tx = client.make_transaction(fee=25)
+    client.submit(tx, miners=[0, 1, 2])
+    sim.run(2.0)
+    acks = client.acks_for(tx)
+    assert len(acks) == 3
+    assert all(ack.accepted and ack.verify() for ack in acks)
+
+
+def test_submitted_tx_enters_mempools_and_propagates():
+    sim = make_sim(num_nodes=8)
+    client = client_in(sim)
+    tx = client.make_transaction(fee=25)
+    client.submit(tx, miners=[0])
+    sim.run(10.0)
+    for node in sim.nodes.values():
+        assert tx.sketch_id in node.log
+
+
+def test_status_query_lifecycle():
+    sim = make_sim(num_nodes=6)
+    client = client_in(sim)
+    tx = client.make_transaction(fee=25)
+    # Before submission: unknown.
+    client.query_status(tx.sketch_id, miner=3)
+    sim.run(1.0)
+    assert client.latest_status(tx.sketch_id).status == "unknown"
+    # After submission and propagation: content-held at a remote miner.
+    client.submit(tx, miners=[0])
+    sim.run(8.0)
+    client.query_status(tx.sketch_id, miner=3)
+    sim.run(9.0)
+    assert client.latest_status(tx.sketch_id).status == "content-held"
+
+
+def test_status_settled_after_block():
+    sim = make_sim(num_nodes=6)
+    client = client_in(sim)
+    tx = client.make_transaction(fee=25)
+    client.submit(tx, miners=[0])
+    sim.run(6.0)
+    sim.nodes[2].on_leader_elected()
+    sim.run(10.0)
+    client.query_status(tx.sketch_id, miner=4)
+    sim.run(11.0)
+    assert client.latest_status(tx.sketch_id).status == "settled"
+
+
+def test_invalid_submission_not_acked_as_accepted():
+    sim = make_sim(num_nodes=6)
+    client = client_in(sim)
+    tx = client.make_transaction(fee=25)
+    from repro.mempool.transaction import Transaction
+
+    forged = Transaction(
+        sender=tx.sender, nonce=tx.nonce, fee=tx.fee + 1,
+        size_bytes=tx.size_bytes, created_at=tx.created_at,
+        payload=tx.payload, signature=tx.signature,
+    )
+    client.submit(forged, miners=[0])
+    sim.run(2.0)
+    acks = client.acks_for(forged)
+    assert len(acks) == 1
+    assert not acks[0].accepted
+
+
+def test_duplicate_submission_still_acked():
+    sim = make_sim(num_nodes=6)
+    client = client_in(sim)
+    tx = client.make_transaction(fee=25)
+    client.submit(tx, miners=[0])
+    sim.run(1.0)
+    client.submit(tx, miners=[0])
+    sim.run(2.0)
+    acks = client.acks_for(tx)
+    assert len(acks) == 2
+    assert all(ack.accepted for ack in acks)
+
+
+def test_contradicted_ack_detects_stage1_censorship():
+    from repro.attacks import OffChannelNode
+
+    def factory(**kwargs):
+        node = OffChannelNode(**kwargs)
+        node.peers_off_channel = set()
+        node.launder = True
+        node.intercept_fee_min = 100  # steal anything juicy
+        return node
+
+    sim = make_sim(num_nodes=8, malicious_ids=[0], attacker_factory=factory)
+    client = client_in(sim)
+    tx = client.make_transaction(fee=500)
+    client.submit(tx, miners=[0])
+    sim.run(2.0)
+    # Fake ack arrives...
+    assert client.acks_for(tx) and client.acks_for(tx)[0].accepted
+    # ...but the status query reveals the miner never committed it.
+    client.query_status(tx.sketch_id, miner=0)
+    sim.run(4.0)
+    assert client.latest_status(tx.sketch_id).status == "unknown"
+    suspicious = client.contradicted_acks(tx)
+    assert len(suspicious) == 1
+    assert suspicious[0].verify()  # transferable client-side evidence
+
+
+def test_multiple_clients_are_distinct():
+    sim = make_sim(num_nodes=6)
+    a = client_in(sim, seed=b"a")
+    b = client_in(sim, seed=b"b")
+    assert a.node_id != b.node_id
+    assert a.keypair.public_key != b.keypair.public_key

@@ -1,0 +1,70 @@
+"""Tests for the commitment header wire format."""
+
+from repro.bloomclock import BloomClock
+from repro.core.commitment import (
+    CommitmentHeader,
+    GENESIS_DIGEST,
+    bundle_digest,
+    chain_digest,
+    sign_header,
+)
+from repro.crypto import KeyPair
+
+import pytest
+
+KP = KeyPair.generate(seed=b"wire-signer")
+
+
+def header_for(bundles):
+    clock = BloomClock()
+    digests = []
+    digest = GENESIS_DIGEST
+    for ids in bundles:
+        clock.add_all(ids)
+        digest = chain_digest(digest, bundle_digest(ids))
+        digests.append(digest)
+    return sign_header(
+        KP, len(bundles), sum(len(b) for b in bundles), digests, clock
+    )
+
+
+def test_roundtrip_preserves_signed_fields():
+    original = header_for([[1, 2], [3]])
+    data = original.to_bytes()
+    assert len(data) == original.wire_size()
+    decoded = CommitmentHeader.from_bytes(data)
+    assert decoded.signer == original.signer
+    assert decoded.seq == original.seq
+    assert decoded.tx_count == original.tx_count
+    assert decoded.tip_digest() == original.tip_digest()
+    assert decoded.clock == original.clock
+    assert decoded.signature_valid()
+
+
+def test_roundtrip_empty_history():
+    original = header_for([])
+    decoded = CommitmentHeader.from_bytes(original.to_bytes())
+    assert decoded.seq == 0
+    assert decoded.tip_digest() == GENESIS_DIGEST
+    assert decoded.signature_valid()
+
+
+def test_tampered_bytes_fail_verification():
+    data = bytearray(header_for([[1, 2]]).to_bytes())
+    data[40] ^= 0xFF  # corrupt the seq field
+    decoded = CommitmentHeader.from_bytes(bytes(data))
+    assert not decoded.signature_valid()
+
+
+def test_wire_form_marks_partial_chain():
+    multi = header_for([[1], [2], [3]])
+    assert multi.has_full_chain
+    decoded = CommitmentHeader.from_bytes(multi.to_bytes())
+    assert not decoded.has_full_chain  # interior digests not shipped
+    single = CommitmentHeader.from_bytes(header_for([[1]]).to_bytes())
+    assert single.has_full_chain  # seq 1: the tip IS the whole chain
+
+
+def test_wrong_length_rejected():
+    with pytest.raises(ValueError):
+        CommitmentHeader.from_bytes(b"\x00" * 10)

@@ -1,0 +1,91 @@
+"""Unit tests for canonical ordering (section 4.3)."""
+
+from repro.core.commitment import BundleInfo
+from repro.core.ordering import canonical_order, fee_priority_order, shuffle_bundle
+
+import pytest
+
+PREV_A = b"\x01" * 32
+PREV_B = b"\x02" * 32
+
+
+def bundles_of(*id_lists):
+    return [
+        BundleInfo(index=i, ids=tuple(ids), source_peer=None, committed_at=0.0)
+        for i, ids in enumerate(id_lists)
+    ]
+
+
+def test_shuffle_is_deterministic():
+    assert shuffle_bundle([1, 2, 3, 4], PREV_A, 0) == shuffle_bundle(
+        [1, 2, 3, 4], PREV_A, 0
+    )
+
+
+def test_shuffle_depends_only_on_id_set():
+    assert shuffle_bundle([4, 2, 3, 1], PREV_A, 0) == shuffle_bundle(
+        [1, 2, 3, 4], PREV_A, 0
+    )
+
+
+def test_shuffle_varies_with_seed_inputs():
+    ids = list(range(1, 30))
+    assert shuffle_bundle(ids, PREV_A, 0) != shuffle_bundle(ids, PREV_B, 0)
+    assert shuffle_bundle(ids, PREV_A, 0) != shuffle_bundle(ids, PREV_A, 1)
+
+
+def test_shuffle_is_permutation():
+    ids = [5, 9, 13, 21]
+    assert sorted(shuffle_bundle(ids, PREV_A, 2)) == sorted(ids)
+
+
+def test_canonical_order_respects_bundle_sequence():
+    bundles = bundles_of([1, 2, 3], [10, 11], [20])
+    order = canonical_order(bundles, 3, PREV_A, exclude=lambda i: False)
+    assert set(order[:3]) == {1, 2, 3}
+    assert set(order[3:5]) == {10, 11}
+    assert order[5] == 20
+
+
+def test_canonical_order_truncates_at_seq():
+    bundles = bundles_of([1], [2], [3])
+    order = canonical_order(bundles, 2, PREV_A, exclude=lambda i: False)
+    assert set(order) == {1, 2}
+
+
+def test_canonical_order_applies_exclusion_after_shuffle():
+    bundles = bundles_of([1, 2, 3, 4])
+    full = canonical_order(bundles, 1, PREV_A, exclude=lambda i: False)
+    filtered = canonical_order(bundles, 1, PREV_A, exclude=lambda i: i == 2)
+    assert filtered == [i for i in full if i != 2]
+
+
+def test_canonical_order_seq_zero_is_empty():
+    assert canonical_order(bundles_of([1]), 0, PREV_A, lambda i: False) == []
+
+
+def test_canonical_order_rejects_bad_seq():
+    with pytest.raises(ValueError):
+        canonical_order(bundles_of([1]), 2, PREV_A, lambda i: False)
+
+
+def test_fee_priority_order():
+    fees = {1: 5, 2: 50, 3: 50, 4: 1}
+    order = fee_priority_order([1, 2, 3, 4], fees.__getitem__, lambda i: False)
+    assert order == [2, 3, 1, 4]  # fee desc, id asc on ties
+
+
+def test_fee_priority_excludes():
+    fees = {1: 5, 2: 50}
+    order = fee_priority_order([1, 2], fees.__getitem__, lambda i: i == 2)
+    assert order == [1]
+
+
+def test_cross_party_agreement():
+    # Two independent reconstructions of the same bundle sets produce the
+    # same canonical order -- the property inspection relies on.
+    creator_view = bundles_of([3, 1, 2], [7, 5])
+    inspector_view = bundles_of([1, 2, 3], [5, 7])  # different received order
+    a = canonical_order(creator_view, 2, PREV_A, lambda i: False)
+    b = canonical_order(inspector_view, 2, PREV_A, lambda i: False)
+    assert a == b

@@ -1,0 +1,58 @@
+"""Tests for the Table 1 policy matrix.
+
+Each explicit policy maps to exactly one manipulation primitive, and every
+violation kind resolves to the policy it breaks -- this is Table 1 encoded
+and checked.
+"""
+
+from repro.core.policies import (
+    Manipulation,
+    POLICY_ADDRESSES,
+    Policy,
+    STALE_SEQ_SLACK,
+    ViolationKind,
+)
+
+
+def test_every_policy_addresses_one_manipulation():
+    assert POLICY_ADDRESSES[Policy.INCLUSION_OF_ALL_TRANSACTIONS] is Manipulation.CENSORSHIP
+    assert POLICY_ADDRESSES[Policy.SELECTION_IN_RECEIVED_ORDER] is Manipulation.INJECTION
+    assert POLICY_ADDRESSES[Policy.VERIFIABLE_CANONICAL_ORDER] is Manipulation.REORDERING
+    assert set(POLICY_ADDRESSES) == set(Policy)
+
+
+def test_violation_kinds_map_to_policies():
+    assert (
+        ViolationKind.MISSING_COMMITTED_TX.policy
+        is Policy.INCLUSION_OF_ALL_TRANSACTIONS
+    )
+    assert (
+        ViolationKind.UNCOMMITTED_TX_IN_BODY.policy
+        is Policy.SELECTION_IN_RECEIVED_ORDER
+    )
+    assert (
+        ViolationKind.ORDER_DEVIATION.policy
+        is Policy.VERIFIABLE_CANONICAL_ORDER
+    )
+    assert (
+        ViolationKind.STALE_COMMITMENT_SEQ.policy
+        is Policy.INCLUSION_OF_ALL_TRANSACTIONS
+    )
+
+
+def test_violation_kinds_map_to_manipulations():
+    assert ViolationKind.MISSING_COMMITTED_TX.manipulation is Manipulation.CENSORSHIP
+    assert ViolationKind.UNCOMMITTED_TX_IN_BODY.manipulation is Manipulation.INJECTION
+    assert ViolationKind.ORDER_DEVIATION.manipulation is Manipulation.REORDERING
+    assert ViolationKind.STALE_COMMITMENT_SEQ.manipulation is Manipulation.CENSORSHIP
+
+
+def test_every_violation_kind_is_mapped():
+    for kind in ViolationKind:
+        assert kind.policy in Policy
+        assert kind.manipulation in Manipulation
+
+
+def test_stale_slack_is_a_sane_protocol_constant():
+    assert isinstance(STALE_SEQ_SLACK, int)
+    assert STALE_SEQ_SLACK > 0

@@ -1,0 +1,123 @@
+"""Unit tests for reconciliation messages and adaptive sizing."""
+
+import pytest
+
+from repro.core.config import LOConfig
+from repro.core.reconciliation import (
+    SplitSpec,
+    adaptive_capacity,
+    decode_difference,
+    ids_for_spec,
+    sketch_for_spec,
+)
+from repro.crypto import KeyPair
+from repro.mempool import TransactionLog, make_transaction
+from repro.sketch import PinSketch
+
+CLIENT = KeyPair.generate(seed=b"recon-client")
+
+
+def filled_log(n=20):
+    log = TransactionLog(sketch_capacity=64)
+    ids = []
+    for i in range(1, n + 1):
+        tx = make_transaction(CLIENT, i, 10, created_at=0.0)
+        log.append(tx.sketch_id)
+        ids.append(tx.sketch_id)
+    return log, ids
+
+
+def test_split_spec_cell_halving():
+    spec = SplitSpec(tuple(range(8)))
+    left, right = spec.split()
+    assert left.cells == (0, 1, 2, 3)
+    assert right.cells == (4, 5, 6, 7)
+    assert left.bit_level == right.bit_level == 0
+
+
+def test_split_spec_bit_descent():
+    spec = SplitSpec((3,))
+    left, right = spec.split()
+    assert left.cells == right.cells == (3,)
+    assert left.bit_level == right.bit_level == 1
+    assert left.bit_index == 0 and right.bit_index == 1
+    ll, lr = left.split()
+    assert ll.bit_level == 2
+    assert {ll.bit_index, lr.bit_index} == {0, 2}
+
+
+def test_split_spec_matches_bits():
+    spec = SplitSpec((0,), bit_level=2, bit_index=0b10)
+    assert spec.matches(0b0110)
+    assert not spec.matches(0b0111)
+    assert SplitSpec((0,)).matches(12345)  # level 0 matches all
+
+
+def test_split_partition_is_exact():
+    spec = SplitSpec((1, 2), bit_level=1, bit_index=1)
+    left, right = spec.split()
+    for value in range(1, 64):
+        in_parent = spec.matches(value)
+        assert in_parent == (left.matches(value) or right.matches(value))
+        assert not (left.matches(value) and right.matches(value))
+
+
+def test_sketch_for_spec_cells_matches_manual():
+    log, ids = filled_log()
+    spec = SplitSpec(tuple(range(16)))
+    sketch = sketch_for_spec(log, spec, capacity=32)
+    expected = set(ids_for_spec(log, spec))
+    assert sketch.decode() == expected
+
+
+def test_sketch_for_spec_bit_refined():
+    log, ids = filled_log()
+    spec = SplitSpec(tuple(range(32)), bit_level=1, bit_index=0)
+    sketch = sketch_for_spec(log, spec, capacity=32)
+    expected = {i for i in ids if i % 2 == 0}
+    assert sketch.decode() == expected
+    assert set(ids_for_spec(log, spec)) == expected
+
+
+def test_adaptive_capacity_scaling():
+    config = LOConfig(min_sketch_capacity=16, sketch_capacity=100,
+                      sketch_safety_factor=2.0)
+    assert adaptive_capacity(1, config) == 16          # floor
+    assert adaptive_capacity(20, config) == 64         # 40 -> next pow2
+    assert adaptive_capacity(500, config) == 100       # ceiling
+
+
+def test_adaptive_capacity_power_of_two():
+    config = LOConfig()
+    for estimate in (1, 3, 9, 17, 33):
+        capacity = adaptive_capacity(estimate, config)
+        assert capacity & (capacity - 1) == 0 or capacity == config.sketch_capacity
+
+
+def test_decode_difference_success_and_failure():
+    a = PinSketch(8, 32)
+    b = PinSketch(8, 32)
+    a.add_all({101, 102})
+    b.add_all({102, 103})
+    assert decode_difference(a, b) == {101, 103}
+    overloaded = PinSketch(2, 32)
+    other = PinSketch(2, 32)
+    import random
+
+    overloaded.add_all(random.Random(5).sample(range(1, 2 ** 31), 30))
+    result = decode_difference(overloaded, other)
+    assert result is None or len(result) <= 2  # None, or an aliased decode
+
+
+def test_message_wire_sizes():
+    from repro.core.reconciliation import (
+        ContentRequest,
+        ContentResponse,
+        SyncResponse,
+    )
+
+    request = ContentRequest(request_id=1, ids=(1, 2, 3))
+    assert request.wire_size() == 8 + 12
+    tx = make_transaction(CLIENT, 99, 5, created_at=0.0, size_bytes=250)
+    response = ContentResponse(request_id=1, txs=(tx,))
+    assert response.wire_size() == 8 + 250

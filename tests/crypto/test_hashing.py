@@ -1,0 +1,51 @@
+"""Unit tests for hashing helpers."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto import sha256, sha256_hex, short_id, txid_from_bytes
+
+
+def test_sha256_matches_stdlib():
+    assert sha256(b"abc") == hashlib.sha256(b"abc").digest()
+    assert sha256_hex(b"abc") == hashlib.sha256(b"abc").hexdigest()
+
+
+def test_short_id_is_prefix():
+    assert sha256_hex(b"x").startswith(short_id(b"x"))
+    assert len(short_id(b"x", nbytes=4)) == 8
+
+
+def test_txid_from_bytes_in_range():
+    digest = sha256(b"tx")
+    value = txid_from_bytes(digest, bits=32)
+    assert 1 <= value < 2 ** 32
+
+
+def test_txid_respects_bit_width():
+    digest = sha256(b"tx")
+    assert txid_from_bytes(digest, bits=16) < 2 ** 16
+    assert txid_from_bytes(digest, bits=12) < 2 ** 12
+
+
+def test_txid_zero_maps_to_one():
+    # A digest whose leading bytes are zero must not yield the (invalid)
+    # zero field element.
+    assert txid_from_bytes(b"\x00" * 32, bits=32) == 1
+
+
+def test_txid_is_deterministic():
+    digest = sha256(b"same")
+    assert txid_from_bytes(digest) == txid_from_bytes(digest)
+
+
+def test_txid_empty_digest_rejected():
+    with pytest.raises(ValueError):
+        txid_from_bytes(b"")
+
+
+def test_txid_collision_rate_is_low():
+    # 2000 distinct digests into 32 bits: collisions should be rare.
+    ids = {txid_from_bytes(sha256(str(i).encode())) for i in range(2000)}
+    assert len(ids) >= 1999

@@ -1,0 +1,72 @@
+"""Unit tests for the simulated signature scheme."""
+
+import pytest
+
+from repro.crypto import KeyPair, PublicKey, verify
+
+
+def test_sign_verify_roundtrip():
+    kp = KeyPair.generate(seed=b"alice")
+    sig = kp.sign(b"message")
+    assert verify(kp.public_key, b"message", sig)
+
+
+def test_tampered_message_fails():
+    kp = KeyPair.generate(seed=b"alice")
+    sig = kp.sign(b"message")
+    assert not verify(kp.public_key, b"other", sig)
+
+
+def test_tampered_signature_fails():
+    kp = KeyPair.generate(seed=b"alice")
+    sig = bytearray(kp.sign(b"message"))
+    sig[0] ^= 0xFF
+    assert not verify(kp.public_key, b"message", bytes(sig))
+
+
+def test_wrong_key_fails():
+    alice = KeyPair.generate(seed=b"alice")
+    bob = KeyPair.generate(seed=b"bob")
+    sig = alice.sign(b"message")
+    assert not verify(bob.public_key, b"message", sig)
+
+
+def test_deterministic_from_seed():
+    a = KeyPair.generate(seed=b"node-7")
+    b = KeyPair.generate(seed=b"node-7")
+    assert a.public_key == b.public_key
+    assert a.sign(b"m") == b.sign(b"m")
+
+
+def test_random_keys_are_distinct():
+    assert KeyPair.generate().public_key != KeyPair.generate().public_key
+
+
+def test_unknown_public_key_never_verifies():
+    fake = PublicKey(b"\x01" * 32)
+    assert not verify(fake, b"m", b"\x00" * 32)
+
+
+def test_public_key_identity_semantics():
+    kp = KeyPair.generate(seed=b"x")
+    same = PublicKey(kp.public_key.raw)
+    assert kp.public_key == same
+    assert hash(kp.public_key) == hash(same)
+    assert len({kp.public_key, same}) == 1
+
+
+def test_public_key_validation():
+    with pytest.raises(ValueError):
+        PublicKey(b"short")
+
+
+def test_empty_seed_rejected():
+    with pytest.raises(ValueError):
+        KeyPair(b"")
+
+
+def test_public_key_ordering_is_total():
+    keys = sorted(
+        KeyPair.generate(seed=str(i).encode()).public_key for i in range(5)
+    )
+    assert keys == sorted(keys)

@@ -1,0 +1,86 @@
+"""Tests for the shared simulation harness."""
+
+import pytest
+
+from repro.attacks import make_censor_factory
+from repro.core.config import LOConfig
+from repro.experiments.harness import LOSimulation, SimulationParams
+from repro.net.latency import ConstantLatencyModel
+
+
+def tiny(num_nodes=8, **kwargs):
+    kwargs.setdefault("latency_model", ConstantLatencyModel(0.02))
+    return LOSimulation(SimulationParams(num_nodes=num_nodes, seed=3, **kwargs))
+
+
+def test_builds_requested_population():
+    sim = tiny(num_nodes=9)
+    assert len(sim.nodes) == 9
+    assert sim.correct_ids == list(range(9))
+    assert all(sim.topology[n] for n in range(9))
+
+
+def test_directory_maps_all_nodes():
+    sim = tiny()
+    for nid, node in sim.nodes.items():
+        assert sim.directory.key_of(nid) == node.public_key
+        assert sim.directory.id_of(node.public_key) == nid
+
+
+def test_malicious_factory_applied():
+    factory = make_censor_factory({0, 1})
+    sim = tiny(num_nodes=10, malicious_ids=[0, 1], attacker_factory=factory)
+    from repro.attacks import CensoringNode
+
+    assert isinstance(sim.nodes[0], CensoringNode)
+    assert isinstance(sim.nodes[1], CensoringNode)
+    assert not isinstance(sim.nodes[2], CensoringNode)
+    assert sim.correct_ids == list(range(2, 10))
+
+
+def test_workload_injection_counts():
+    sim = tiny()
+    count = sim.inject_workload(rate_per_s=10.0, duration_s=5.0)
+    assert 20 <= count <= 90  # ~50 expected
+    sim.run(8.0)
+    assert len(sim.mempool_tracker.items()) == count
+
+
+def test_inject_at_single():
+    sim = tiny()
+    sim.inject_at(1.0, origin=2, fee=42)
+    sim.run(5.0)
+    items = sim.mempool_tracker.items()
+    assert len(items) == 1
+    node = sim.nodes[2]
+    tx = node.log.content_of(items[0])
+    assert tx.fee == 42
+
+
+def test_convergence_helpers():
+    sim = tiny()
+    sim.inject_at(0.5, 0, fee=10)
+    sim.run(10.0)
+    item = sim.mempool_tracker.items()[0]
+    assert sim.convergence_fraction(item) == 1.0
+    assert sim.all_suspected_or_exposed([]) is True
+    assert sim.all_exposed([]) is True
+
+
+def test_blocks_disabled_by_default():
+    sim = tiny()
+    assert sim.leader_schedule is None
+    sim2 = tiny(enable_blocks=True)
+    assert sim2.leader_schedule is not None
+
+
+def test_deterministic_topology_per_seed():
+    a = tiny(num_nodes=12)
+    b = tiny(num_nodes=12)
+    assert a.topology == b.topology
+
+
+def test_config_propagates():
+    config = LOConfig(sync_fanout=1)
+    sim = tiny(config=config)
+    assert all(node.config.sync_fanout == 1 for node in sim.nodes.values())

@@ -1,0 +1,120 @@
+"""Tests for the Brahms Byzantine-resilient sampler."""
+
+import random
+
+import pytest
+
+from repro.gossip.brahms import BrahmsNode, ByzantinePusher, MinWiseSampler
+from repro.net import ConstantLatencyModel, Network
+from repro.sim import EventLoop
+
+
+def build_overlay(n=24, byzantine=(), flood_factor=8, seed=5,
+                  rounds_time=30.0):
+    loop = EventLoop()
+    net = Network(loop, ConstantLatencyModel(0.01))
+    rng = random.Random(seed)
+    bootstrap = list(range(n))
+    nodes = {}
+    for node_id in range(n):
+        boot = rng.sample([b for b in bootstrap if b != node_id], 8)
+        if node_id in byzantine:
+            node = ByzantinePusher(
+                node_id, loop, net, boot, random.Random(seed + node_id),
+                accomplices=set(byzantine), flood_factor=flood_factor,
+            )
+        else:
+            node = BrahmsNode(
+                node_id, loop, net, boot, random.Random(seed + node_id)
+            )
+        nodes[node_id] = node
+    for node in nodes.values():
+        node.start()
+    loop.run_until(rounds_time)
+    return nodes
+
+
+def test_minwise_sampler_keeps_minimum():
+    cell = MinWiseSampler(salt=b"s")
+    for node_id in (5, 9, 2, 7):
+        cell.offer(node_id)
+    first = cell.sample
+    # Re-offering the same stream cannot change the choice.
+    for node_id in (5, 9, 2, 7):
+        cell.offer(node_id)
+    assert cell.sample == first
+    cell.invalidate()
+    assert cell.sample is None
+
+
+def test_minwise_sampler_is_stream_order_independent():
+    a = MinWiseSampler(salt=b"same")
+    b = MinWiseSampler(salt=b"same")
+    for node_id in (1, 2, 3, 4, 5):
+        a.offer(node_id)
+    for node_id in (5, 4, 3, 2, 1):
+        b.offer(node_id)
+    assert a.sample == b.sample
+
+
+def test_views_stay_populated_and_valid():
+    nodes = build_overlay(n=20)
+    for node in nodes.values():
+        assert node.view
+        assert node.node_id not in node.view
+        assert all(0 <= p < 20 for p in node.view)
+        assert node.rounds > 10
+
+
+def test_samples_spread_over_membership():
+    nodes = build_overlay(n=24)
+    # Union of sample lists covers a large part of the membership.
+    union = set()
+    for node in nodes.values():
+        union |= node.sample_ids()
+    assert len(union) >= 18
+
+
+def test_sample_api_contract():
+    nodes = build_overlay(n=16)
+    node = nodes[0]
+    picked = node.sample(5)
+    assert len(picked) <= 5
+    assert node.node_id not in picked
+    excluded = node.sample(8, exclude={1, 2, 3})
+    assert set(excluded).isdisjoint({1, 2, 3})
+
+
+def test_byzantine_flood_does_not_take_over_samples():
+    byzantine = set(range(4))  # 4 of 24 faulty (1/6)
+    nodes = build_overlay(n=24, byzantine=byzantine, flood_factor=10,
+                          rounds_time=40.0)
+    correct = [n for i, n in nodes.items() if i not in byzantine]
+    # Min-wise sampling bounds infiltration near the faulty fraction even
+    # under heavy flooding; allow generous slack over the 1/6 baseline.
+    fractions = []
+    for node in correct:
+        samples = node.sample_ids()
+        if samples:
+            bad = len(samples & byzantine) / len(samples)
+            fractions.append(bad)
+    average = sum(fractions) / len(fractions)
+    assert average < 0.45
+
+
+def test_correct_nodes_remain_reachable_under_attack():
+    byzantine = set(range(4))
+    nodes = build_overlay(n=24, byzantine=byzantine, rounds_time=40.0)
+    for node_id, node in nodes.items():
+        if node_id in byzantine:
+            continue
+        correct_samples = node.sample_ids() - byzantine - {node_id}
+        assert correct_samples, "sample list fully poisoned"
+
+
+def test_invalid_mixing_weights_rejected():
+    loop = EventLoop()
+    net = Network(loop, ConstantLatencyModel(0.01))
+    with pytest.raises(ValueError):
+        BrahmsNode(0, loop, net, [1, 2], random.Random(0), alpha=0.5,
+                   beta=0.5, gamma=0.5)

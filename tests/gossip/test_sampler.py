@@ -1,0 +1,77 @@
+"""Unit tests for the peer sampler."""
+
+import random
+
+import pytest
+
+from repro.gossip import PeerSampler
+
+
+def test_sample_excludes_caller():
+    sampler = PeerSampler(range(10), random.Random(1))
+    for _ in range(20):
+        assert 3 not in sampler.sample(3, 5)
+
+
+def test_sample_size_and_distinctness():
+    sampler = PeerSampler(range(20), random.Random(2))
+    picked = sampler.sample(0, 7)
+    assert len(picked) == 7
+    assert len(set(picked)) == 7
+
+
+def test_small_pool_returns_everything():
+    sampler = PeerSampler(range(4), random.Random(3))
+    assert sorted(sampler.sample(0, 10)) == [1, 2, 3]
+
+
+def test_exclusions_respected():
+    sampler = PeerSampler(range(10), random.Random(4))
+    picked = sampler.sample(0, 9, exclude={1, 2, 3})
+    assert set(picked).isdisjoint({1, 2, 3})
+
+
+def test_predicate_filter():
+    sampler = PeerSampler(range(10), random.Random(5))
+    picked = sampler.sample(0, 9, predicate=lambda n: n % 2 == 0)
+    assert all(n % 2 == 0 for n in picked)
+
+
+def test_leave_and_join():
+    sampler = PeerSampler(range(5), random.Random(6))
+    sampler.leave(2)
+    assert 2 not in sampler.members
+    for _ in range(10):
+        assert 2 not in sampler.sample(0, 4)
+    sampler.join(2)
+    assert 2 in sampler.members
+
+
+def test_join_new_member():
+    sampler = PeerSampler(range(3), random.Random(7))
+    sampler.join(99)
+    assert 99 in sampler.members
+
+
+def test_sample_one():
+    sampler = PeerSampler(range(3), random.Random(8))
+    peer = sampler.sample_one(0)
+    assert peer in (1, 2)
+    assert sampler.sample_one(0, exclude={1, 2}) is None
+
+
+def test_uniformity_rough():
+    sampler = PeerSampler(range(6), random.Random(9))
+    counts = {i: 0 for i in range(1, 6)}
+    for _ in range(2000):
+        counts[sampler.sample_one(0)] += 1
+    # Each of 5 peers expected ~400; allow wide tolerance.
+    assert all(300 < c < 500 for c in counts.values())
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        PeerSampler([1], random.Random(0))
+    sampler = PeerSampler(range(3), random.Random(0))
+    with pytest.raises(ValueError):
+        sampler.sample(0, -1)

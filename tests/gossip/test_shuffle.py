@@ -1,0 +1,79 @@
+"""Unit tests for neighbour shuffling."""
+
+import random
+
+from repro.gossip import NeighborShuffler, PeerSampler
+from repro.sim import EventLoop
+
+
+def make_shuffler(neighbors, blocklist=None, period=1.0, target=4, swaps=1):
+    loop = EventLoop()
+    sampler = PeerSampler(range(20), random.Random(1))
+    changes = []
+    shuffler = NeighborShuffler(
+        loop,
+        node_id=0,
+        neighbors=neighbors,
+        sampler=sampler,
+        rng=random.Random(2),
+        period=period,
+        swaps_per_round=swaps,
+        target_degree=target,
+        blocklist=blocklist,
+        on_change=lambda added, removed: changes.append((added, removed)),
+    )
+    return loop, shuffler, changes
+
+
+def test_maintains_target_degree():
+    neighbors = {1, 2, 3, 4}
+    loop, shuffler, _ = make_shuffler(neighbors)
+    shuffler.start()
+    loop.run_until(10.0)
+    assert len(neighbors) == 4
+
+
+def test_rotates_neighbors_over_time():
+    neighbors = {1, 2, 3, 4}
+    original = set(neighbors)
+    loop, shuffler, _ = make_shuffler(neighbors)
+    shuffler.start()
+    loop.run_until(30.0)
+    assert neighbors != original or shuffler.total_swaps > 0
+
+
+def test_blocked_neighbors_evicted():
+    neighbors = {1, 2, 3, 4}
+    loop, shuffler, _ = make_shuffler(
+        neighbors, blocklist=lambda: {1, 2}
+    )
+    shuffler.start()
+    loop.run_until(2.0)
+    assert 1 not in neighbors and 2 not in neighbors
+    assert len(neighbors) == 4  # refilled
+
+
+def test_blocked_never_readded():
+    neighbors = {1, 2, 3, 4}
+    loop, shuffler, _ = make_shuffler(neighbors, blocklist=lambda: {1})
+    shuffler.start()
+    loop.run_until(20.0)
+    assert 1 not in neighbors
+
+
+def test_on_change_reports_swaps():
+    neighbors = {1, 2, 3, 4}
+    loop, shuffler, changes = make_shuffler(neighbors)
+    shuffler.start()
+    loop.run_until(5.0)
+    assert changes
+    added, removed = changes[0]
+    assert added or removed
+
+
+def test_never_adds_self():
+    neighbors = set()
+    loop, shuffler, _ = make_shuffler(neighbors, target=8)
+    shuffler.start()
+    loop.run_until(5.0)
+    assert 0 not in neighbors

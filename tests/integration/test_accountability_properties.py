@@ -1,0 +1,99 @@
+"""The section 3.2 accountability properties, end to end.
+
+* Accuracy / no false positives: no correct node is ever exposed.
+* Accuracy / temporal: correct nodes are not perpetually suspected.
+* Suspicion completeness: request-ignoring nodes end up suspected by all.
+* Exposure completeness: one exposure spreads to every correct node.
+"""
+
+from repro.attacks import make_censor_factory
+from tests.conftest import make_sim
+
+
+def correct_keys(sim):
+    return {sim.directory.key_of(i) for i in sim.correct_ids}
+
+
+def test_no_false_positives_under_load():
+    sim = make_sim(num_nodes=20, enable_blocks=True)
+    for i in range(15):
+        sim.inject_at(0.1 + 0.2 * i, i % 20, fee=5 + i)
+    sim.run(40.0)
+    keys = correct_keys(sim)
+    for nid in sim.correct_ids:
+        acct = sim.nodes[nid].acct
+        assert keys.isdisjoint(set(acct.exposed)), "correct node exposed"
+
+
+def test_temporal_accuracy_suspicions_clear():
+    sim = make_sim(num_nodes=20, enable_blocks=True)
+    for i in range(15):
+        sim.inject_at(0.1 + 0.2 * i, i % 20, fee=5)
+    sim.run(30.0)
+    # Quiet period with no new transactions: every transient suspicion of
+    # a correct node must have cleared.
+    sim.run(60.0)
+    keys = correct_keys(sim)
+    for nid in sim.correct_ids:
+        acct = sim.nodes[nid].acct
+        lingering = keys & set(acct.suspected)
+        assert not lingering, f"node {nid} still suspects correct nodes"
+
+
+def test_suspicion_completeness_for_request_ignorers():
+    mal = (0, 1, 2)
+    sim = make_sim(
+        num_nodes=18,
+        malicious_ids=mal,
+        attacker_factory=make_censor_factory(
+            set(mal), ignore_sync=True, drop_blames=True, equivocate=False
+        ),
+    )
+    for i in range(8):
+        sim.inject_at(0.1 + 0.2 * i, 3 + (i % 15), fee=5)
+    sim.run(45.0)
+    keys = [sim.directory.key_of(i) for i in mal]
+    for nid in sim.correct_ids:
+        acct = sim.nodes[nid].acct
+        for key in keys:
+            assert acct.is_suspected(key) or acct.is_exposed(key)
+
+
+def test_exposure_completeness_spreads_to_all():
+    mal = (0,)
+    sim = make_sim(
+        num_nodes=18,
+        malicious_ids=mal,
+        attacker_factory=make_censor_factory(
+            {0}, ignore_sync=True, drop_blames=True, equivocate=True
+        ),
+    )
+    # Attacker-originated txs force it to commit (fork material).
+    sim.inject_at(0.2, 0, fee=5)
+    for i in range(8):
+        sim.inject_at(0.4 + 0.2 * i, 1 + (i % 16), fee=5)
+    sim.run(45.0)
+    key = sim.directory.key_of(0)
+    exposed = [
+        nid for nid in sim.correct_ids if sim.nodes[nid].acct.is_exposed(key)
+    ]
+    assert len(exposed) == len(sim.correct_ids)
+
+
+def test_exposure_evidence_is_independently_verifiable():
+    mal = (0,)
+    sim = make_sim(
+        num_nodes=14,
+        malicious_ids=mal,
+        attacker_factory=make_censor_factory(
+            {0}, ignore_sync=True, drop_blames=True, equivocate=True
+        ),
+    )
+    sim.inject_at(0.2, 0, fee=5)
+    sim.inject_at(0.4, 5, fee=5)
+    sim.run(45.0)
+    key = sim.directory.key_of(0)
+    for nid in sim.correct_ids:
+        blame = sim.nodes[nid].acct.exposed.get(key)
+        if blame is not None:
+            assert blame.verify()

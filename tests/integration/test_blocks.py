@@ -1,0 +1,68 @@
+"""Integration: block production, settlement and inspection together."""
+
+from repro.core.config import LOConfig
+from tests.conftest import make_sim
+
+
+def test_continuous_block_production_settles_everything():
+    config = LOConfig(mean_block_time_s=4.0)
+    sim = make_sim(num_nodes=12, config=config, enable_blocks=True)
+    txs = []
+
+    def create(origin):
+        txs.append(sim.nodes[origin].create_transaction(fee=10))
+
+    for i in range(10):
+        sim.loop.call_at(0.2 + 0.4 * i, create, i % 12)
+    sim.run(60.0)
+    ledger = sim.nodes[0].ledger
+    assert ledger.height >= 2
+    for tx in txs:
+        assert ledger.is_settled(tx.sketch_id), "tx never made it to a block"
+
+
+def test_all_nodes_share_one_chain():
+    config = LOConfig(mean_block_time_s=4.0)
+    sim = make_sim(num_nodes=12, config=config, enable_blocks=True)
+    for i in range(6):
+        sim.inject_at(0.2 + 0.4 * i, i % 12, fee=10)
+    sim.run(40.0)
+    tips = {node.ledger.tip_hash for node in sim.nodes.values()}
+    assert len(tips) == 1
+    heights = {node.ledger.height for node in sim.nodes.values()}
+    assert len(heights) == 1
+
+
+def test_no_transaction_settles_twice():
+    config = LOConfig(mean_block_time_s=3.0)
+    sim = make_sim(num_nodes=10, config=config, enable_blocks=True)
+    for i in range(8):
+        sim.inject_at(0.2 + 0.3 * i, i % 10, fee=10)
+    sim.run(45.0)
+    ledger = sim.nodes[0].ledger
+    seen = []
+    for h in range(ledger.height + 1):
+        seen.extend(ledger.block_at(h).tx_ids)
+    assert len(seen) == len(set(seen))
+
+
+def test_clean_blocks_trigger_no_exposures():
+    config = LOConfig(mean_block_time_s=4.0)
+    sim = make_sim(num_nodes=12, config=config, enable_blocks=True)
+    for i in range(8):
+        sim.inject_at(0.2 + 0.3 * i, i % 12, fee=10)
+    sim.run(50.0)
+    assert sim.counter.total("blocks_inspected") > 0
+    for node in sim.nodes.values():
+        assert not node.acct.exposed
+
+
+def test_block_latency_tracked_per_transaction():
+    config = LOConfig(mean_block_time_s=4.0)
+    sim = make_sim(num_nodes=10, config=config, enable_blocks=True)
+    for i in range(6):
+        sim.inject_at(0.2 + 0.3 * i, i % 10, fee=10)
+    sim.run(40.0)
+    latencies = sim.block_tracker.all_latencies()
+    assert latencies
+    assert all(lat >= 0 for lat in latencies)

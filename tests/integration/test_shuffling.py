@@ -1,0 +1,87 @@
+"""Integration: the section 5.1 neighbour-rotation machinery."""
+
+from repro.attacks import make_censor_factory
+from repro.core.config import LOConfig
+from repro.experiments.harness import LOSimulation, SimulationParams
+from repro.net.latency import ConstantLatencyModel
+
+
+def shuffled_sim(num_nodes=16, malicious_ids=(), attacker_factory=None,
+                 period=2.0, seed=9):
+    return LOSimulation(
+        SimulationParams(
+            num_nodes=num_nodes,
+            seed=seed,
+            config=LOConfig(),
+            latency_model=ConstantLatencyModel(0.02),
+            malicious_ids=list(malicious_ids),
+            attacker_factory=attacker_factory,
+            enable_shuffling=True,
+            shuffle_period_s=period,
+        )
+    )
+
+
+def test_shuffling_preserves_convergence():
+    sim = shuffled_sim()
+    txs = []
+
+    def create(origin):
+        txs.append(sim.nodes[origin].create_transaction(fee=10))
+
+    for i in range(6):
+        sim.loop.call_at(0.2 + 0.3 * i, create, i % 16)
+    sim.run(20.0)
+    for tx in txs:
+        assert sim.convergence_fraction(tx.sketch_id) == 1.0
+
+
+def test_shuffling_rotates_neighbors():
+    sim = shuffled_sim(period=1.0)
+    before = {nid: set(node.neighbors) for nid, node in sim.nodes.items()}
+    sim.run(15.0)
+    changed = sum(
+        1 for nid, node in sim.nodes.items() if set(node.neighbors) != before[nid]
+    )
+    assert changed > len(sim.nodes) // 2
+
+
+def test_shuffling_keeps_degree_near_target():
+    sim = shuffled_sim(period=1.0)
+    sim.run(20.0)
+    for node in sim.nodes.values():
+        assert len(node.neighbors) >= 4  # target degree 8, sampler refills
+
+
+def test_suspected_peers_rotated_out():
+    mal = (0, 1)
+    sim = shuffled_sim(
+        num_nodes=16,
+        malicious_ids=mal,
+        attacker_factory=make_censor_factory(
+            set(mal), ignore_sync=True, drop_blames=True
+        ),
+        period=2.0,
+    )
+    for i in range(6):
+        sim.inject_at(0.2 + 0.3 * i, 2 + (i % 14), fee=10)
+    sim.run(40.0)
+    # Once suspected, the shuffler evicts attackers from correct nodes'
+    # neighbour sets and must not re-add them.
+    attached = sum(
+        1
+        for nid in sim.correct_ids
+        for peer in sim.nodes[nid].neighbors
+        if peer in mal
+    )
+    total_edges = sum(len(sim.nodes[nid].neighbors) for nid in sim.correct_ids)
+    assert attached <= total_edges * 0.1
+
+
+def test_no_false_blames_with_shuffling():
+    sim = shuffled_sim()
+    for i in range(6):
+        sim.inject_at(0.2 + 0.3 * i, i % 16, fee=10)
+    sim.run(30.0)
+    for node in sim.nodes.values():
+        assert not node.acct.exposed

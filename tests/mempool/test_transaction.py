@@ -1,0 +1,89 @@
+"""Unit tests for transactions and prevalidation."""
+
+import pytest
+
+from repro.crypto import KeyPair
+from repro.mempool import Transaction, TransactionError, make_transaction, prevalidate
+
+KP = KeyPair.generate(seed=b"client")
+
+
+def tx(fee=10, size=250, nonce=1):
+    return make_transaction(KP, nonce, fee, created_at=1.0, size_bytes=size)
+
+
+def test_signature_valid_roundtrip():
+    assert tx().signature_valid()
+
+
+def test_txid_and_sketch_id_derived():
+    t = tx()
+    assert len(t.txid) == 32
+    assert 1 <= t.sketch_id < 2 ** 32
+
+
+def test_distinct_nonces_distinct_ids():
+    assert tx(nonce=1).txid != tx(nonce=2).txid
+
+
+def test_identical_content_identical_ids():
+    assert tx().txid == tx().txid
+
+
+def test_forged_signature_detected():
+    t = tx()
+    forged = Transaction(
+        sender=t.sender,
+        nonce=t.nonce,
+        fee=t.fee + 1,  # tampered fee
+        size_bytes=t.size_bytes,
+        created_at=t.created_at,
+        payload=t.payload,
+        signature=t.signature,
+    )
+    assert not forged.signature_valid()
+
+
+def test_invalid_fields_rejected():
+    with pytest.raises(TransactionError):
+        tx(size=0)
+    with pytest.raises(TransactionError):
+        tx(fee=-1)
+
+
+def test_prevalidate_accepts_valid():
+    assert prevalidate(tx())
+
+
+def test_prevalidate_rejects_bad_signature():
+    t = tx()
+    bad = Transaction(
+        sender=t.sender,
+        nonce=t.nonce,
+        fee=t.fee,
+        size_bytes=t.size_bytes,
+        created_at=t.created_at,
+        payload=b"changed",
+        signature=t.signature,
+    )
+    assert not prevalidate(bad)
+
+
+def test_prevalidate_fee_floor():
+    assert not prevalidate(tx(fee=1), min_fee=5)
+    assert prevalidate(tx(fee=5), min_fee=5)
+
+
+def test_prevalidate_size_cap():
+    assert not prevalidate(tx(size=2000), max_size=1000)
+
+
+def test_prevalidate_extra_checks():
+    reject_all = [lambda t: False]
+    assert not prevalidate(tx(), extra_checks=reject_all)
+    accept_all = [lambda t: True, lambda t: True]
+    assert prevalidate(tx(), extra_checks=accept_all)
+
+
+def test_wire_size_is_declared_size():
+    assert tx(size=300).wire_size() == 300

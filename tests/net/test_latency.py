@@ -1,0 +1,80 @@
+"""Unit tests for latency models."""
+
+import random
+
+import pytest
+
+from repro.net import CityLatencyModel, ConstantLatencyModel, UniformLatencyModel
+from repro.net.latency import synthetic_city_table
+
+
+def test_constant_model():
+    model = ConstantLatencyModel(0.07)
+    assert model.delay(0, 1) == 0.07
+    assert model.delay(5, 9) == 0.07
+
+
+def test_constant_model_rejects_negative():
+    with pytest.raises(ValueError):
+        ConstantLatencyModel(-0.1)
+
+
+def test_uniform_model_fixed_per_pair():
+    model = UniformLatencyModel(0.01, 0.1, random.Random(3))
+    d1 = model.delay(0, 1)
+    d2 = model.delay(0, 1)
+    assert d1 == d2
+    assert 0.01 <= d1 <= 0.1
+
+
+def test_uniform_model_symmetric():
+    model = UniformLatencyModel(0.01, 0.1, random.Random(3))
+    assert model.delay(2, 7) == model.delay(7, 2)
+
+
+def test_uniform_model_rejects_bad_range():
+    with pytest.raises(ValueError):
+        UniformLatencyModel(0.2, 0.1, random.Random(0))
+
+
+def test_city_table_has_32_cities():
+    table = synthetic_city_table(random.Random(1))
+    assert len(table) == 32
+    names = [name for name, _x, _y in table]
+    assert len(set(names)) == 32
+
+
+def test_city_model_round_robin_assignment():
+    model = CityLatencyModel(70, random.Random(1))
+    assert model.city_of(0) == model.city_of(32)
+    assert model.city_of(1) != model.city_of(0)
+
+
+def test_city_model_delay_properties():
+    model = CityLatencyModel(64, random.Random(1))
+    delays = [
+        model.delay(a, b) for a in range(0, 64, 7) for b in range(0, 64, 5)
+    ]
+    assert all(d >= CityLatencyModel.BASE_DELAY_S for d in delays)
+    # Realistic WonderNetwork-like spread: same-city ~ ms, antipodal
+    # approaching a couple hundred ms one-way.
+    assert min(delays) < 0.02
+    assert max(delays) > 0.08
+    assert max(delays) < 0.40
+
+
+def test_city_model_symmetric():
+    model = CityLatencyModel(64, random.Random(1))
+    assert model.delay(3, 40) == model.delay(40, 3)
+
+
+def test_city_model_same_city_is_cheapest():
+    model = CityLatencyModel(64, random.Random(1))
+    same_city = model.delay(0, 32)
+    cross = model.delay(0, 16)
+    assert same_city <= cross
+
+
+def test_city_model_rejects_empty():
+    with pytest.raises(ValueError):
+        CityLatencyModel(0, random.Random(1))

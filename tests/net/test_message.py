@@ -1,0 +1,28 @@
+"""Unit tests for the message envelope."""
+
+import pytest
+
+from repro.net.message import ENVELOPE_BYTES, Message
+
+
+def test_message_ids_are_unique_and_increasing():
+    a = Message(0, 1, "t", None, 10)
+    b = Message(0, 1, "t", None, 10)
+    assert b.msg_id > a.msg_id
+
+
+def test_negative_wire_bytes_rejected():
+    with pytest.raises(ValueError):
+        Message(0, 1, "t", None, -5)
+
+
+def test_defaults():
+    message = Message(0, 1, "t", {"k": 1}, 10)
+    assert message.is_overhead
+    assert message.payload == {"k": 1}
+
+
+def test_envelope_constant_is_sane():
+    # UDP/IP-ish header plus a type tag; must stay small relative to the
+    # protocol payloads it frames.
+    assert 16 <= ENVELOPE_BYTES <= 64

@@ -1,0 +1,89 @@
+"""Unit tests for topology construction."""
+
+import random
+
+import pytest
+
+from repro.net import TopologyBuilder, TopologyError
+from repro.net.topology import is_connected
+
+
+def degrees(adjacency):
+    return {node: len(peers) for node, peers in adjacency.items()}
+
+
+def test_build_is_connected():
+    builder = TopologyBuilder(50, random.Random(1))
+    adjacency = builder.build()
+    assert is_connected(adjacency, set(range(50)))
+
+
+def test_build_no_self_loops_and_symmetric():
+    adjacency = TopologyBuilder(30, random.Random(2)).build()
+    for node, peers in adjacency.items():
+        assert node not in peers
+        for peer in peers:
+            assert node in adjacency[peer]
+
+
+def test_out_degree_respected():
+    adjacency = TopologyBuilder(100, random.Random(3), out_degree=8).build()
+    # Every node picked <= 8 outgoing; undirected degree is bounded by
+    # out_degree + inbound, so minimum degree is at least the out-degree.
+    assert min(degrees(adjacency).values()) >= 8
+
+
+def test_small_network_clamps_degree():
+    adjacency = TopologyBuilder(4, random.Random(4), out_degree=8).build()
+    for node, peers in adjacency.items():
+        assert len(peers) <= 3
+
+
+def test_in_degree_cap():
+    builder = TopologyBuilder(40, random.Random(5), out_degree=4,
+                              max_in_degree=6)
+    adjacency = builder.build()
+    # Degree <= out_degree + max_in_degree (+ connectivity patch edges).
+    assert max(degrees(adjacency).values()) <= 4 + 6 + 2
+
+
+def test_too_few_nodes_rejected():
+    with pytest.raises(TopologyError):
+        TopologyBuilder(1, random.Random(0))
+
+
+def test_adversarial_topology_keeps_correct_core_connected():
+    builder = TopologyBuilder(60, random.Random(6))
+    malicious = list(range(12))
+    adjacency = builder.build_with_adversaries(malicious)
+    correct = set(range(60)) - set(malicious)
+    assert is_connected(adjacency, correct)
+
+
+def test_adversaries_form_clique_when_small():
+    builder = TopologyBuilder(30, random.Random(7))
+    malicious = [0, 1, 2, 3]
+    adjacency = builder.build_with_adversaries(malicious)
+    for a in malicious:
+        for b in malicious:
+            if a != b:
+                assert b in adjacency[a]
+
+
+def test_many_adversaries_still_interconnected():
+    builder = TopologyBuilder(80, random.Random(8))
+    malicious = list(range(30))
+    adjacency = builder.build_with_adversaries(malicious)
+    assert is_connected(adjacency, set(malicious))
+
+
+def test_adversary_ids_validated():
+    builder = TopologyBuilder(10, random.Random(9))
+    with pytest.raises(TopologyError):
+        builder.build_with_adversaries([99])
+
+
+def test_deterministic_given_seed():
+    a = TopologyBuilder(25, random.Random(42)).build()
+    b = TopologyBuilder(25, random.Random(42)).build()
+    assert a == b

@@ -1,0 +1,139 @@
+"""Unit tests for the discrete-event loop."""
+
+import pytest
+
+from repro.sim import EventLoop, SimulationError
+
+
+def test_events_run_in_time_order():
+    loop = EventLoop()
+    seen = []
+    loop.call_later(3.0, seen.append, "c")
+    loop.call_later(1.0, seen.append, "a")
+    loop.call_later(2.0, seen.append, "b")
+    loop.run_until(5.0)
+    assert seen == ["a", "b", "c"]
+    assert loop.now == 5.0
+
+
+def test_ties_break_by_insertion_order():
+    loop = EventLoop()
+    seen = []
+    for label in ("first", "second", "third"):
+        loop.call_at(1.0, seen.append, label)
+    loop.run_until(1.0)
+    assert seen == ["first", "second", "third"]
+
+
+def test_deadline_is_inclusive():
+    loop = EventLoop()
+    seen = []
+    loop.call_at(2.0, seen.append, "edge")
+    loop.run_until(2.0)
+    assert seen == ["edge"]
+
+
+def test_events_beyond_deadline_stay_pending():
+    loop = EventLoop()
+    seen = []
+    loop.call_at(10.0, seen.append, "late")
+    loop.run_until(5.0)
+    assert seen == []
+    loop.run_until(10.0)
+    assert seen == ["late"]
+
+
+def test_cancelled_event_does_not_run():
+    loop = EventLoop()
+    seen = []
+    event = loop.call_later(1.0, seen.append, "x")
+    event.cancel()
+    loop.run_until(2.0)
+    assert seen == []
+
+
+def test_callbacks_can_schedule_more_events():
+    loop = EventLoop()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            loop.call_later(0.5, chain, n + 1)
+
+    loop.call_later(0.5, chain, 0)
+    loop.run_until(10.0)
+    assert seen == [0, 1, 2, 3]
+
+
+def test_nested_event_within_deadline_runs():
+    loop = EventLoop()
+    seen = []
+    loop.call_later(1.0, lambda: loop.call_later(0.5, seen.append, "inner"))
+    loop.run_until(2.0)
+    assert seen == ["inner"]
+
+
+def test_scheduling_in_the_past_raises():
+    loop = EventLoop()
+    loop.run_until(5.0)
+    with pytest.raises(SimulationError):
+        loop.call_at(4.0, lambda: None)
+    with pytest.raises(SimulationError):
+        loop.call_later(-1.0, lambda: None)
+
+
+def test_run_until_backwards_raises():
+    loop = EventLoop()
+    loop.run_until(5.0)
+    with pytest.raises(SimulationError):
+        loop.run_until(4.0)
+
+
+def test_run_for_advances_relative():
+    loop = EventLoop(start_time=10.0)
+    loop.run_for(2.5)
+    assert loop.now == 12.5
+
+
+def test_step_executes_single_event():
+    loop = EventLoop()
+    seen = []
+    loop.call_later(1.0, seen.append, "a")
+    loop.call_later(2.0, seen.append, "b")
+    loop.step()
+    assert seen == ["a"]
+    assert loop.now == 1.0
+
+
+def test_step_on_empty_heap_returns_none():
+    assert EventLoop().step() is None
+
+
+def test_drain_runs_everything():
+    loop = EventLoop()
+    seen = []
+    loop.call_later(1.0, seen.append, 1)
+    loop.call_later(2.0, seen.append, 2)
+    executed = loop.drain()
+    assert executed == 2
+    assert seen == [1, 2]
+
+
+def test_drain_guards_against_livelock():
+    loop = EventLoop()
+
+    def reschedule():
+        loop.call_later(0.1, reschedule)
+
+    loop.call_later(0.1, reschedule)
+    with pytest.raises(SimulationError):
+        loop.drain(max_events=100)
+
+
+def test_processed_events_counter():
+    loop = EventLoop()
+    for _ in range(5):
+        loop.call_later(1.0, lambda: None)
+    loop.run_until(2.0)
+    assert loop.processed_events == 5

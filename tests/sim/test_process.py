@@ -1,0 +1,100 @@
+"""Unit tests for periodic processes."""
+
+import random
+
+import pytest
+
+from repro.sim import EventLoop, PeriodicProcess
+
+
+class TickCounter(PeriodicProcess):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.ticks = []
+
+    def tick(self):
+        self.ticks.append(self.loop.now)
+
+
+def test_periodic_ticks_at_period():
+    loop = EventLoop()
+    proc = TickCounter(loop, period=1.0)
+    proc.start()
+    loop.run_until(5.0)
+    assert proc.ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_phase_controls_first_tick():
+    loop = EventLoop()
+    proc = TickCounter(loop, period=1.0, phase=0.25)
+    proc.start()
+    loop.run_until(2.5)
+    assert proc.ticks == [0.25, 1.25, 2.25]
+
+
+def test_stop_halts_ticking():
+    loop = EventLoop()
+    proc = TickCounter(loop, period=1.0)
+    proc.start()
+    loop.run_until(2.0)
+    proc.stop()
+    loop.run_until(10.0)
+    assert len(proc.ticks) == 2
+    assert not proc.running
+
+
+def test_start_is_idempotent():
+    loop = EventLoop()
+    proc = TickCounter(loop, period=1.0)
+    proc.start()
+    proc.start()
+    loop.run_until(3.0)
+    assert proc.ticks == [1.0, 2.0, 3.0]
+
+
+def test_restart_after_stop():
+    loop = EventLoop()
+    proc = TickCounter(loop, period=1.0, phase=1.0)
+    proc.start()
+    loop.run_until(1.0)
+    proc.stop()
+    proc.start()
+    loop.run_until(3.0)
+    assert len(proc.ticks) == 3
+
+
+def test_jitter_varies_intervals():
+    loop = EventLoop()
+    proc = TickCounter(
+        loop, period=1.0, jitter=0.2, jitter_rng=random.Random(5)
+    )
+    proc.start()
+    loop.run_until(20.0)
+    intervals = [
+        b - a for a, b in zip(proc.ticks, proc.ticks[1:])
+    ]
+    assert all(0.8 <= i <= 1.2 for i in intervals)
+    assert len(set(round(i, 6) for i in intervals)) > 1
+
+
+def test_stop_inside_tick_prevents_reschedule():
+    loop = EventLoop()
+
+    class SelfStopping(PeriodicProcess):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            self.count = 0
+
+        def tick(self):
+            self.count += 1
+            self.stop()
+
+    proc = SelfStopping(loop, period=1.0)
+    proc.start()
+    loop.run_until(10.0)
+    assert proc.count == 1
+
+
+def test_invalid_period_rejected():
+    with pytest.raises(ValueError):
+        TickCounter(EventLoop(), period=0.0)

@@ -1,0 +1,159 @@
+"""Unit and property tests for GF(2^m) arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.gf import GF2m, GF2Tower32, default_field
+
+FIELDS = {16: GF2m(16), 32: default_field(32)}
+
+elem16 = st.integers(min_value=0, max_value=2 ** 16 - 1)
+elem32 = st.integers(min_value=0, max_value=2 ** 32 - 1)
+nonzero32 = st.integers(min_value=1, max_value=2 ** 32 - 1)
+
+
+def test_default_field_32_is_tower():
+    assert isinstance(default_field(32), GF2Tower32)
+
+
+def test_default_field_is_cached():
+    assert default_field(32) is default_field(32)
+
+
+def test_tower_quadratic_constant_has_trace_one():
+    field = default_field(32)
+    assert field._subfield_trace(field.QUAD_C) == 1
+
+
+@given(a=elem32, b=elem32)
+@settings(max_examples=200)
+def test_tower_mul_commutes(a, b):
+    f = FIELDS[32]
+    assert f.mul(a, b) == f.mul(b, a)
+
+
+@given(a=elem32, b=elem32, c=elem32)
+@settings(max_examples=200)
+def test_tower_mul_associative_and_distributive(a, b, c):
+    f = FIELDS[32]
+    assert f.mul(a, f.mul(b, c)) == f.mul(f.mul(a, b), c)
+    assert f.mul(a, b ^ c) == f.mul(a, b) ^ f.mul(a, c)
+
+
+@given(a=elem32)
+@settings(max_examples=200)
+def test_tower_square_is_self_multiply(a):
+    f = FIELDS[32]
+    assert f.sqr(a) == f.mul(a, a)
+
+
+@given(a=nonzero32)
+@settings(max_examples=200)
+def test_tower_inverse(a):
+    f = FIELDS[32]
+    assert f.mul(a, f.inv(a)) == 1
+
+
+@given(a=elem16, b=elem16)
+@settings(max_examples=200)
+def test_table_mul_matches_reference(a, b):
+    f = FIELDS[16]
+    assert f.mul(a, b) == f._mul_notable(a, b)
+
+
+def test_identity_and_zero():
+    for f in FIELDS.values():
+        assert f.mul(0, 12345 % f.order) == 0
+        assert f.mul(1, 12345 % f.order) == 12345 % f.order
+        assert f.add(7, 7) == 0
+
+
+def test_inv_of_zero_raises():
+    for f in FIELDS.values():
+        with pytest.raises(ZeroDivisionError):
+            f.inv(0)
+
+
+def test_pow_edge_cases():
+    f = FIELDS[16]
+    assert f.pow(5, 0) == 1
+    assert f.pow(5, 1) == 5
+    assert f.pow(5, 2) == f.sqr(5)
+    assert f.mul(f.pow(5, 3), f.pow(5, -3)) == 1
+
+
+def test_div_is_mul_by_inverse():
+    f = FIELDS[32]
+    assert f.div(100, 7) == f.mul(100, f.inv(7))
+
+
+@given(u=elem32)
+@settings(max_examples=150)
+def test_artin_schreier_solver(u):
+    f = FIELDS[32]
+    solution = f.artin_schreier_solve(u)
+    if solution is None:
+        assert f.trace(u) == 1
+    else:
+        assert f.sqr(solution) ^ solution == u
+
+
+def test_trace_is_gf2_valued_and_linear():
+    f = FIELDS[32]
+    for a, b in [(3, 5), (123456, 789), (2 ** 31, 17)]:
+        assert f.trace(a) in (0, 1)
+        assert f.trace(a ^ b) == f.trace(a) ^ f.trace(b)
+
+
+# ------------------------------------------------------------- polynomials
+
+
+def test_poly_mul_and_mod():
+    f = FIELDS[16]
+    # (x + 3)(x + 5) = x^2 + (3+5)x + 15
+    product = f.poly_mul([3, 1], [5, 1])
+    assert product == [f.mul(3, 5), 3 ^ 5, 1]
+    assert f.poly_mod(product, [3, 1]) == []  # divisible by x + 3
+
+
+def test_poly_gcd_of_shared_root():
+    f = FIELDS[16]
+    p = f.poly_mul([7, 1], [9, 1])
+    q = f.poly_mul([7, 1], [11, 1])
+    assert f.poly_gcd(p, q) == [7, 1]
+
+
+def test_poly_eval_horner():
+    f = FIELDS[16]
+    poly = [1, 2, 3]  # 3x^2 + 2x + 1
+    x = 7
+    expected = f.mul(3, f.sqr(x)) ^ f.mul(2, x) ^ 1
+    assert f.poly_eval(poly, x) == expected
+
+
+def test_poly_monic_normalises_leading_coefficient():
+    f = FIELDS[16]
+    monic = f.poly_monic([4, 6])
+    assert monic[-1] == 1
+    # Roots preserved: p(r) == 0 <-> monic(r) == 0.
+    root = f.div(4, 6)
+    assert f.poly_eval(monic, root) == 0
+
+
+def test_poly_sqr_mod_consistency():
+    f = FIELDS[16]
+    p = [3, 1, 5]
+    q = [9, 0, 0, 1]
+    direct = f.poly_mod(f.poly_mul(p, p), q)
+    assert f.poly_sqr_mod(p, q) == direct
+
+
+def test_poly_mod_by_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        FIELDS[16].poly_mod([1, 2], [])
+
+
+def test_unknown_field_size_rejected():
+    with pytest.raises(ValueError):
+        GF2m(13)

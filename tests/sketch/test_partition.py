@@ -1,0 +1,102 @@
+"""Unit and property tests for hash-partitioned reconciliation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch import PartitionedReconciler
+from repro.sketch.partition import elements_in_partition, partition_index
+
+
+def test_partition_index_low_bits():
+    assert partition_index(0b1011, 2) == 0b11
+    assert partition_index(0b1011, 0) == 0
+    assert partition_index(0b1000, 3) == 0
+
+
+def test_elements_in_partition_filters():
+    elements = [1, 2, 3, 4, 5, 6, 7, 8]
+    evens = elements_in_partition(elements, 1, 0)
+    odds = elements_in_partition(elements, 1, 1)
+    assert set(evens) == {2, 4, 6, 8}
+    assert set(odds) == {1, 3, 5, 7}
+
+
+def test_small_difference_single_sketch():
+    rec = PartitionedReconciler(capacity=16, m=32)
+    a = set(range(100, 150))
+    b = set(range(105, 155))  # symmetric difference of 10 <= capacity
+    diff, stats = rec.reconcile_sets(a, b)
+    assert diff == a ^ b
+    assert stats.sketches_decoded == 1
+    assert stats.decode_failures == 0
+    assert not stats.failed
+
+
+def test_large_difference_recurses():
+    rnd = random.Random(2)
+    rec = PartitionedReconciler(capacity=8, m=32)
+    a = set(rnd.sample(range(1, 2 ** 31), 120))
+    b = set(rnd.sample(range(1, 2 ** 31), 120))
+    diff, stats = rec.reconcile_sets(a, b)
+    assert diff == a ^ b
+    assert stats.decode_failures > 0
+    assert stats.max_depth_reached > 0
+    assert stats.bytes_transferred > 0
+
+
+def test_identical_sets_empty_difference():
+    rec = PartitionedReconciler(capacity=4, m=32)
+    items = {5, 10, 15}
+    diff, stats = rec.reconcile_sets(set(items), set(items))
+    assert diff == set()
+    assert stats.sketches_decoded == 1
+
+
+def test_refusing_provider_marks_failure():
+    rec = PartitionedReconciler(capacity=4, m=32)
+    diff, stats = rec.reconcile(set(range(1, 10)), lambda level, index: None)
+    assert stats.failed
+    assert stats.unresolved_partitions == [(0, 0)]
+
+
+def test_max_depth_exhaustion_reports_failure():
+    # Note capacity >= 2: a capacity-1 sketch is degenerate (any set
+    # aliases to the single element equal to its XOR, since in char 2
+    # sum(x^2) == (sum x)^2), so it cannot detect its own overload.
+    rnd = random.Random(3)
+    rec = PartitionedReconciler(capacity=2, m=32, max_depth=1)
+    a = set(rnd.sample(range(1, 2 ** 31), 64))
+    diff, stats = rec.reconcile_sets(a, set())
+    assert stats.failed
+    assert stats.unresolved_partitions
+    # NOTE: the recovered ids are NOT asserted correct here -- a massively
+    # overloaded capacity-2 sketch aliases to a wrong 2-element set with
+    # ~50% probability (hence the protocol's min_sketch_capacity of 16).
+
+
+@given(
+    sa=st.sets(st.integers(min_value=1, max_value=2 ** 31), max_size=40),
+    sb=st.sets(st.integers(min_value=1, max_value=2 ** 31), max_size=40),
+)
+@settings(max_examples=25, deadline=None)
+def test_partitioned_reconcile_property(sa, sb):
+    rec = PartitionedReconciler(capacity=8, m=32)
+    diff, stats = rec.reconcile_sets(sa, sb)
+    assert diff == sa ^ sb
+    assert not stats.failed
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        PartitionedReconciler(capacity=0)
+    with pytest.raises(ValueError):
+        PartitionedReconciler(capacity=4, max_depth=-1)
+
+
+def test_stats_bytes_count_remote_sketches():
+    rec = PartitionedReconciler(capacity=4, m=32)
+    _, stats = rec.reconcile_sets({1, 2}, {3, 4})
+    assert stats.bytes_transferred == 4 * 4  # one capacity-4 sketch of 32-bit words

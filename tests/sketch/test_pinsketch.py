@@ -1,0 +1,211 @@
+"""Unit and property tests for PinSketch set reconciliation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch import PinSketch, SketchDecodeError, sketch_syndromes
+from repro.sketch.pinsketch import clear_decode_cache
+
+ids32 = st.sets(
+    st.integers(min_value=1, max_value=2 ** 32 - 1), min_size=0, max_size=12
+)
+
+
+def test_roundtrip_small_set():
+    sketch = PinSketch(capacity=8, m=32)
+    sketch.add_all({10, 20, 30})
+    assert sketch.decode() == {10, 20, 30}
+
+
+def test_empty_sketch_decodes_empty():
+    assert PinSketch(capacity=4, m=32).decode() == set()
+
+
+def test_add_twice_removes():
+    sketch = PinSketch(capacity=4, m=32)
+    sketch.add(42)
+    sketch.add(42)
+    assert sketch.is_empty()
+    assert sketch.decode() == set()
+
+
+def test_xor_yields_symmetric_difference():
+    a = PinSketch(capacity=8, m=32)
+    b = PinSketch(capacity=8, m=32)
+    a.add_all({1, 2, 3, 100})
+    b.add_all({3, 100, 200})
+    assert (a ^ b).decode() == {1, 2, 200}
+
+
+@given(sa=ids32, sb=ids32)
+@settings(max_examples=60, deadline=None)
+def test_symmetric_difference_property(sa, sb):
+    a = PinSketch(capacity=24, m=32)
+    b = PinSketch(capacity=24, m=32)
+    a.add_all(sa)
+    b.add_all(sb)
+    assert (a ^ b).decode() == sa ^ sb
+
+
+def test_capacity_exact_fit():
+    sketch = PinSketch(capacity=5, m=32)
+    items = {11, 22, 33, 44, 55}
+    sketch.add_all(items)
+    assert sketch.decode() == items
+
+
+def test_over_capacity_raises():
+    # Overload detection is probabilistic: an overloaded sketch can alias
+    # to a small set with identical syndromes (e.g. {1..8} == {8} at
+    # capacity 3).  With random 31-bit elements that is astronomically
+    # rare, so all trials should fail cleanly.
+    rnd = random.Random(9)
+    failures = 0
+    for trial in range(8):
+        sketch = PinSketch(capacity=4, m=32)
+        sketch.add_all(rnd.sample(range(1, 2 ** 31), 12))
+        try:
+            decoded = sketch.decode()
+            assert len(decoded) <= 4  # aliased result still looks in-capacity
+        except SketchDecodeError:
+            failures += 1
+    assert failures >= 7
+
+
+def test_verify_false_still_decodes_valid_sets():
+    sketch = PinSketch(capacity=8, m=32)
+    sketch.add_all({5, 6, 7})
+    assert sketch.decode(verify=False) == {5, 6, 7}
+
+
+def test_serialize_roundtrip():
+    sketch = PinSketch(capacity=6, m=32)
+    sketch.add_all({9, 99, 999})
+    data = sketch.serialize()
+    assert len(data) == sketch.wire_size() == 6 * 4
+    restored = PinSketch.deserialize(data, capacity=6, m=32)
+    assert restored.decode() == {9, 99, 999}
+
+
+def test_deserialize_wrong_length_rejected():
+    with pytest.raises(ValueError):
+        PinSketch.deserialize(b"\x00" * 10, capacity=6, m=32)
+
+
+def test_truncated_keeps_prefix_semantics():
+    big = PinSketch(capacity=16, m=32)
+    big.add_all({100, 200})
+    small = big.truncated(4)
+    assert small.capacity == 4
+    assert small.decode() == {100, 200}
+    with pytest.raises(ValueError):
+        small.truncated(8)
+
+
+def test_copy_is_independent():
+    a = PinSketch(capacity=4, m=32)
+    a.add(77)
+    b = a.copy()
+    b.add(88)
+    assert a.decode() == {77}
+    assert b.decode() == {77, 88}
+
+
+def test_mismatched_fields_cannot_combine():
+    with pytest.raises(ValueError):
+        PinSketch(4, m=16) ^ PinSketch(4, m=32)
+
+
+def test_xor_uses_min_capacity():
+    combined = PinSketch(8, m=32) ^ PinSketch(4, m=32)
+    assert combined.capacity == 4
+
+
+def test_element_out_of_range_rejected():
+    sketch = PinSketch(capacity=4, m=16)
+    with pytest.raises(ValueError):
+        sketch.add(2 ** 16)
+    with pytest.raises(ValueError):
+        sketch.add(0)
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        PinSketch(capacity=0, m=32)
+
+
+def test_syndrome_cache_consistency():
+    v1 = sketch_syndromes(12345, 8, 32)
+    v2 = sketch_syndromes(12345, 8, 32)
+    assert v1 is v2  # lru_cache
+    assert len(v1) == 8
+    assert v1[0] == 12345
+
+
+def test_xor_syndromes_matches_add():
+    direct = PinSketch(capacity=8, m=32)
+    direct.add(4242)
+    via_vector = PinSketch(capacity=8, m=32)
+    via_vector.xor_syndromes(sketch_syndromes(4242, 8, 32))
+    assert direct.serialize() == via_vector.serialize()
+
+
+def test_xor_syndromes_short_vector_rejected():
+    sketch = PinSketch(capacity=8, m=32)
+    with pytest.raises(ValueError):
+        sketch.xor_syndromes((1, 2, 3))
+
+
+def test_decode_cache_failure_and_success_paths():
+    clear_decode_cache()
+    sketch = PinSketch(capacity=3, m=32)
+    rnd = random.Random(17)
+    sketch.add_all(rnd.sample(range(1, 2 ** 31), 9))
+    with pytest.raises(SketchDecodeError):
+        sketch.decode()
+    # Second decode hits the cached failure.
+    with pytest.raises(SketchDecodeError):
+        sketch.decode()
+    ok = PinSketch(capacity=3, m=32)
+    ok.add_all({5, 6})
+    assert ok.decode() == {5, 6}
+    assert ok.decode() == {5, 6}  # cached success
+
+
+def test_large_difference_decodes():
+    rnd = random.Random(4)
+    items = set(rnd.sample(range(1, 2 ** 31), 50))
+    sketch = PinSketch(capacity=64, m=32)
+    sketch.add_all(items)
+    assert sketch.decode() == items
+
+
+def test_sixteen_bit_field_roundtrip():
+    sketch = PinSketch(capacity=8, m=16)
+    sketch.add_all({100, 200, 300})
+    assert sketch.decode() == {100, 200, 300}
+
+
+def test_eight_bit_field_roundtrip():
+    sketch = PinSketch(capacity=4, m=8)
+    sketch.add_all({11, 22, 33})
+    assert sketch.decode() == {11, 22, 33}
+
+
+def test_sixtyfour_bit_field_roundtrip():
+    # The generic (table-less) field path; slower but must stay correct.
+    sketch = PinSketch(capacity=3, m=64)
+    items = {2 ** 40 + 1, 2 ** 50 + 7, 12345}
+    sketch.add_all(items)
+    assert sketch.decode() == items
+
+
+def test_mixed_capacity_xor_difference():
+    a = PinSketch(capacity=16, m=32)
+    b = PinSketch(capacity=8, m=32)
+    a.add_all({100, 200, 300})
+    b.add_all({200, 400})
+    assert (a ^ b).decode() == {100, 300, 400}

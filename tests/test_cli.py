@@ -1,0 +1,56 @@
+"""CLI tests (tiny parameters, captured stdout)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_covers_all_experiments():
+    parser = build_parser()
+    sub = next(
+        a for a in parser._actions if isinstance(a, type(parser._subparsers._group_actions[0]))
+    )
+    commands = set(sub.choices)
+    assert {"run", "fig6", "fig7", "fig8", "fig9", "fig10", "memory",
+            "cpu"} <= commands
+
+
+def test_run_command(capsys):
+    code = main(["run", "--nodes", "8", "--rate", "3", "--duration", "4",
+                 "--drain", "4"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mean mempool latency" in out
+    assert "exposures" in out
+
+
+def test_cpu_command_with_json(tmp_path, capsys):
+    out_file = tmp_path / "cpu.json"
+    code = main(["cpu", "--difference", "24", "--capacity", "8",
+                 "--json", str(out_file)])
+    assert code == 0
+    assert "speedup" in capsys.readouterr().out
+    payload = json.loads(out_file.read_text())
+    assert payload["experiment"] == "cpu"
+    assert payload["result"]["difference"] == 24
+
+
+def test_fig10_command(capsys):
+    code = main(["fig10", "--nodes", "10", "--duration", "8",
+                 "--workloads", "120"])
+    assert code == 0
+    assert "recon/node/min" in capsys.readouterr().out
+
+
+def test_memory_command(capsys):
+    code = main(["memory", "--nodes", "10", "--duration", "8",
+                 "--workloads", "120"])
+    assert code == 0
+    assert "avg_commitment_B" in capsys.readouterr().out
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,64 @@
+"""The public API surface: everything README/docs reference must import."""
+
+import importlib
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.sim",
+    "repro.net",
+    "repro.crypto",
+    "repro.sketch",
+    "repro.bloomclock",
+    "repro.chain",
+    "repro.mempool",
+    "repro.gossip",
+    "repro.core",
+    "repro.core.enforcement",
+    "repro.core.client",
+    "repro.baselines",
+    "repro.attacks",
+    "repro.workload",
+    "repro.metrics",
+    "repro.experiments",
+    "repro.experiments.fig6_detection",
+    "repro.experiments.fig7_mempool_latency",
+    "repro.experiments.fig8_block_latency",
+    "repro.experiments.fig9_bandwidth",
+    "repro.experiments.fig10_reconciliations",
+    "repro.experiments.sec65_cpu",
+    "repro.experiments.sec65_memory",
+]
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_module_imports(name):
+    module = importlib.import_module(name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_dunder_all_resolves(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_readme_quickstart_snippet():
+    """The exact flow shown in README runs."""
+    from repro.experiments.harness import LOSimulation, SimulationParams
+
+    sim = LOSimulation(SimulationParams(num_nodes=10, seed=7,
+                                        enable_blocks=True))
+    sim.inject_workload(rate_per_s=3.0, duration_s=4.0)
+    sim.run(8.0)
+    lat = sim.mempool_tracker.all_latencies()
+    assert lat
+    assert not any(n.acct.exposed for n in sim.nodes.values())

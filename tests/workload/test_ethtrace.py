@@ -1,0 +1,75 @@
+"""Unit tests for the synthetic Ethereum-like trace generator."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.workload import EthereumTraceGenerator
+
+
+def make_gen(rate=10.0, nodes=20, seed=1, **kwargs):
+    return EthereumTraceGenerator(
+        num_nodes=nodes, rate_per_s=rate, rng=random.Random(seed), **kwargs
+    )
+
+
+def test_arrival_times_sorted_and_bounded():
+    trace = make_gen().generate(30.0)
+    times = [t.at_time for t in trace]
+    assert times == sorted(times)
+    assert all(0 <= t < 30.0 for t in times)
+
+
+def test_poisson_rate_approximation():
+    trace = make_gen(rate=20.0).generate(60.0)
+    # Expect ~1200; tolerate 4 sigma.
+    assert 1050 <= len(trace) <= 1350
+
+
+def test_origins_within_nodes():
+    trace = make_gen(nodes=7).generate(20.0)
+    assert all(0 <= t.origin < 7 for t in trace)
+    assert len({t.origin for t in trace}) > 3
+
+
+def test_fee_distribution_is_heavy_tailed():
+    trace = make_gen(rate=50.0).generate(60.0)
+    fees = [t.fee for t in trace]
+    assert all(f >= 1 for f in fees)
+    median = statistics.median(fees)
+    p99 = sorted(fees)[int(0.99 * len(fees))]
+    assert 10 <= median <= 40          # around the 20-unit median
+    assert p99 > 5 * median            # a long upper tail
+
+
+def test_sizes_cluster_near_mean():
+    trace = make_gen(rate=50.0, mean_size_bytes=250).generate(30.0)
+    sizes = [t.size_bytes for t in trace]
+    assert all(s >= 100 for s in sizes)
+    assert 200 <= statistics.median(sizes) <= 300
+
+
+def test_accounts_are_zipfian():
+    gen = make_gen(rate=50.0, num_accounts=100, zipf_exponent=1.2)
+    trace = gen.generate(60.0)
+    counts = {}
+    for t in trace:
+        counts[t.sender_account] = counts.get(t.sender_account, 0) + 1
+    top = max(counts.values())
+    assert top > len(trace) / 20  # popular accounts dominate
+
+
+def test_deterministic_given_seed():
+    a = make_gen(seed=9).generate(10.0)
+    b = make_gen(seed=9).generate(10.0)
+    assert a == b
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        make_gen(rate=0.0)
+    with pytest.raises(ValueError):
+        EthereumTraceGenerator(0, 1.0, random.Random(0))
+    with pytest.raises(ValueError):
+        make_gen().generate(0.0)
