@@ -1,4 +1,4 @@
-"""Degraded-but-not-Byzantine behaviours: slow nodes and spam.
+"""Degraded and protocol-abusing behaviours: slow nodes, spam, garbage.
 
 These are the accuracy stress cases rather than manipulation attacks:
 
@@ -11,14 +11,21 @@ These are the accuracy stress cases rather than manipulation attacks:
   prevalidation must keep invalid content out of commitments entirely, and
   the fee threshold keeps dust out of blocks without breaking inspection
   (the exclusion rules are deterministic, so all inspectors agree).
+* :class:`GarbageNode` -- a Byzantine peer that floods its neighbours with
+  malformed / type-confused ``lo/*`` payloads.  The hardened ingress
+  (:mod:`repro.core.wire`) must contain every one of them: victims keep
+  running, count the violations against the sender, and quarantine it
+  with exponential backoff.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Optional
 
 from repro.core.node import LONode
 from repro.mempool.transaction import Transaction, make_transaction
+from repro.net.chaos import corrupt_payload
 from repro.net.message import Message
 
 
@@ -80,3 +87,39 @@ class SpamClientNode(LONode):
             self.receive_client_transaction(tx)
             dust.append(tx)
         return dust
+
+
+class GarbageNode(LONode):
+    """A Byzantine miner that interleaves garbage with normal traffic.
+
+    Every ``garbage_period_s`` it sends one malformed ``lo/*`` message to
+    each neighbour: either a corrupted mutation of a legitimate payload
+    (its own commitment header, mangled) or outright typed garbage under a
+    random protocol message type.  It otherwise behaves correctly, so the
+    test question is purely whether victims survive and attribute.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.garbage_period_s = 0.5
+        self.garbage_sent = 0
+        self._garbage_rng = random.Random(f"garbage-{self.node_id}")
+
+    def start(self) -> None:
+        super().start()
+        self.loop.call_later(self.garbage_period_s, self._garbage_tick)
+
+    def _garbage_tick(self) -> None:
+        self.loop.call_later(self.garbage_period_s, self._garbage_tick)
+        rng = self._garbage_rng
+        msg_types = sorted(self._HANDLERS)
+        for peer in sorted(self.neighbors):
+            msg_type = rng.choice(msg_types)
+            if rng.random() < 0.5:
+                # Attributable garbage: a validly signed header inside a
+                # structurally broken envelope.
+                payload = corrupt_payload(self.header(), rng)
+            else:
+                payload = corrupt_payload(self._nonce, rng)
+            self._send(peer, msg_type, payload, 64)
+            self.garbage_sent += 1

@@ -39,6 +39,7 @@ from repro.core.inspection import BlockInspector, InspectionResult, Violation
 from repro.core.node import Directory, LONode
 from repro.core.ordering import canonical_order, fee_priority_order, shuffle_bundle
 from repro.core.policies import Manipulation, Policy, ViolationKind
+from repro.core.wire import PeerQuarantine, validate_payload
 
 __all__ = [
     "AccountabilityState",
@@ -62,6 +63,7 @@ __all__ = [
     "LOConfig",
     "LONode",
     "Manipulation",
+    "PeerQuarantine",
     "PendingRequest",
     "Policy",
     "SuspicionBlame",
@@ -71,4 +73,5 @@ __all__ = [
     "fee_priority_order",
     "shuffle_bundle",
     "sign_header",
+    "validate_payload",
 ]

@@ -42,6 +42,17 @@ class LOConfig:
     max_block_txs: int = 256            # blockspace cap
     min_fee: int = 1                    # fee threshold for block inclusion
 
+    # --- ingress hardening (Byzantine message tolerance) ---
+    # When True every inbound lo/* payload is schema-checked before its
+    # handler runs and handler exceptions are contained instead of killing
+    # the event loop (repro.core.wire).
+    validate_ingress: bool = True
+    # Wire violations within one admission window before the peer is
+    # quarantined; episode n lasts base * 2**(n-1) seconds, capped at max.
+    quarantine_threshold: int = 3
+    quarantine_base_s: float = 5.0
+    quarantine_max_s: float = 300.0
+
     # --- accountability ---
     blame_gossip_fanout: int = 8        # neighbours a blame is forwarded to
     # Fig. 4 semantics: a third-party suspicion with no local corroboration
@@ -68,3 +79,7 @@ class LOConfig:
             raise ValueError("sketch_safety_factor must be >= 1.0")
         if self.max_block_txs < 1:
             raise ValueError("max_block_txs must be >= 1")
+        if self.quarantine_threshold < 1:
+            raise ValueError("quarantine_threshold must be >= 1")
+        if not 0 < self.quarantine_base_s <= self.quarantine_max_s:
+            raise ValueError("need 0 < quarantine_base_s <= quarantine_max_s")

@@ -58,6 +58,7 @@ from repro.core.reconciliation import (
     ids_for_spec,
     sketch_for_spec,
 )
+from repro.core.wire import PeerQuarantine, validate_payload
 from repro.crypto.keys import KeyPair, PublicKey
 from repro.mempool.transaction import Transaction, make_transaction, prevalidate
 from repro.mempool.txlog import TransactionLog
@@ -155,6 +156,12 @@ class LONode(Endpoint):
         self._relayed_updates: Set[Tuple] = set()
         self._sync_event: Optional[Event] = None
         self._nonce = 0
+        self.quarantine = PeerQuarantine(
+            threshold=config.quarantine_threshold,
+            base_s=config.quarantine_base_s,
+            max_s=config.quarantine_max_s,
+        )
+        self.restarts = 0
 
         self.mempool_tracker = mempool_tracker
         self.block_tracker = block_tracker
@@ -218,6 +225,26 @@ class LONode(Endpoint):
         if self._sync_event is not None:
             self._sync_event.cancel()
             self._sync_event = None
+
+    def restart(self) -> None:
+        """Rebuild volatile session state after a crash and rejoin.
+
+        Models a process restart: the durable state (commitment log, chain,
+        accountability stores) survives, but every in-flight request,
+        timer and half-open session is gone.  Outstanding accountability
+        requests are abandoned so that the fresh sessions opened by the
+        next sync tick drive reconvergence instead of stale timeouts.
+        """
+        self.stop()
+        for session in self._sessions.values():
+            session.timer.cancel()
+        self._sessions.clear()
+        for timer in self._content_timers.values():
+            timer.cancel()
+        self._content_timers.clear()
+        self.acct.pending.clear()
+        self.restarts += 1
+        self.start()
 
     # ----------------------------------------------------- transaction entry
 
@@ -298,11 +325,37 @@ class LONode(Endpoint):
         # buffered successor is waiting (rejoin catch-up).
         if self._pending_blocks:
             self._request_missing_blocks()
+        # Temporal accuracy under lossy networks: the clear-on-response
+        # paths above only cover sampled neighbours, so a suspicion adopted
+        # about a distant node could outlive the fault that caused it.
+        # Re-probe one suspected node per tick; its response (or a relayed
+        # commitment) clears the suspicion once the network heals.
+        self._probe_one_suspect()
+
+    def _probe_one_suspect(self) -> None:
+        suspects: List[int] = []
+        for key in self.acct.suspected:
+            try:
+                peer = self.directory.id_of(key)
+            except KeyError:
+                continue
+            if not self.quarantine.is_quarantined(peer, self.now):
+                suspects.append(peer)
+        if suspects:
+            self._send_sync_request(
+                self.rng.choice(sorted(suspects)), spec=None, depth=0
+            )
 
     def _eligible_neighbors(self) -> List[int]:
-        """Neighbours that are not exposed (suspected ones are still probed)."""
+        """Neighbours that are not exposed or quarantined.
+
+        Suspected peers are still probed (temporal accuracy); quarantined
+        ones are skipped until their backoff window expires.
+        """
         out = []
         for peer in self.neighbors:
+            if self.quarantine.is_quarantined(peer, self.now):
+                continue
             key = self.directory.key_of(peer)
             if not self.acct.is_exposed(key):
                 out.append(peer)
@@ -382,22 +435,101 @@ class LONode(Endpoint):
 
     # --------------------------------------------------------- msg dispatch
 
+    _HANDLERS = {
+        "lo/sync_req": "_handle_sync_request",
+        "lo/sync_resp": "_handle_sync_response",
+        "lo/content_req": "_handle_content_request",
+        "lo/content_resp": "_handle_content_response",
+        "lo/suspicion": "_handle_suspicion",
+        "lo/exposure": "_handle_exposure",
+        "lo/commit_upd": "_handle_commit_update",
+        "lo/block": "_handle_block_announce",
+        "lo/block_req": "_handle_block_request",
+        "lo/client_submit": "_handle_client_submit",
+        "lo/status_query": "_handle_status_query",
+    }
+
     def on_message(self, message: Message) -> None:
-        handler = {
-            "lo/sync_req": self._handle_sync_request,
-            "lo/sync_resp": self._handle_sync_response,
-            "lo/content_req": self._handle_content_request,
-            "lo/content_resp": self._handle_content_response,
-            "lo/suspicion": self._handle_suspicion,
-            "lo/exposure": self._handle_exposure,
-            "lo/commit_upd": self._handle_commit_update,
-            "lo/block": self._handle_block_announce,
-            "lo/block_req": self._handle_block_request,
-            "lo/client_submit": self._handle_client_submit,
-            "lo/status_query": self._handle_status_query,
-        }.get(message.msg_type)
-        if handler is not None:
-            handler(message)
+        """Byzantine-hardened ingress: validate, contain, attribute.
+
+        A malformed or type-confused payload must never crash the node
+        (section 3.1 lets faulty nodes send arbitrary messages): the
+        payload is schema-checked against its message type before the
+        handler runs, the handler itself is exception-contained, and every
+        violation is counted against the (authenticated) sender.  Repeated
+        garbage quarantines the peer with exponential backoff.
+        """
+        sender = message.sender
+        if self.quarantine.is_quarantined(sender, self.now):
+            if self.counter is not None:
+                self.counter.increment("quarantine_drops", node=self.node_id)
+            return
+        name = self._HANDLERS.get(message.msg_type)
+        if not self.config.validate_ingress:
+            if name is not None:
+                getattr(self, name)(message)
+            return
+        if name is None:
+            self._record_wire_violation(
+                message, f"unknown message type {message.msg_type!r}"
+            )
+            return
+        error = validate_payload(message.msg_type, message.payload)
+        if error is not None:
+            self._record_wire_violation(message, error)
+            return
+        try:
+            getattr(self, name)(message)
+        except Exception as exc:
+            # Containment: a payload that passed the shallow schema check
+            # can still break a handler's deeper assumptions.  The node
+            # must survive; the failure is attributed like any violation.
+            self._record_wire_violation(
+                message, f"handler error: {type(exc).__name__}: {exc}"
+            )
+
+    # ------------------------------------------------- ingress hardening
+
+    def _record_wire_violation(self, message: Message, reason: str) -> None:
+        """Count, attribute and react to one malformed inbound message."""
+        sender = message.sender
+        if self.counter is not None:
+            self.counter.increment("wire_violations", node=self.node_id)
+        self._salvage_evidence(message.payload)
+        newly_quarantined = self.quarantine.record_violation(sender, self.now)
+        if not newly_quarantined:
+            return
+        if self.counter is not None:
+            self.counter.increment("peers_quarantined", node=self.node_id)
+        try:
+            self.directory.key_of(sender)
+        except KeyError:
+            return  # not a registered miner (e.g. a light client); local only
+        self._raise_suspicion(sender, "wire", ())
+
+    def _salvage_evidence(self, payload) -> None:
+        """Harvest signed headers out of an otherwise-malformed payload.
+
+        A malformed message can still carry validly-signed commitment
+        headers; those are attributable regardless of the envelope, so
+        observing them may yield transferable equivocation evidence (the
+        "signed-but-malformed message becomes evidence" path).
+        """
+        from repro.core.commitment import CommitmentHeader
+
+        candidates = []
+        if isinstance(payload, CommitmentHeader):
+            candidates.append(payload)
+        else:
+            for attr in ("header", "last_known"):
+                value = getattr(payload, attr, None)
+                if isinstance(value, CommitmentHeader):
+                    candidates.append(value)
+        for header in candidates:
+            try:
+                self._observe_remote_header(header)
+            except Exception:
+                continue  # hostile header internals; nothing salvageable
 
     def _send(
         self, peer: int, msg_type: str, payload, body_bytes: int,

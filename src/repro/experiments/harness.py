@@ -21,6 +21,7 @@ from repro.core.config import LOConfig
 from repro.gossip import NeighborShuffler, PeerSampler
 from repro.core.node import Directory, LONode
 from repro.metrics import EventCounter, LatencyTracker
+from repro.net.chaos import ChaosController, ChaosPlan
 from repro.net.latency import CityLatencyModel, LatencyModel
 from repro.net.network import Network
 from repro.net.topology import TopologyBuilder
@@ -51,6 +52,10 @@ class SimulationParams:
     # assumptions, and rotation adds noise to bandwidth measurements.
     enable_shuffling: bool = False
     shuffle_period_s: float = 10.0
+    # Optional chaos fault schedule (drop / duplicate / reorder / corrupt /
+    # crash-recover); deterministic from its own seed.  Crashed nodes are
+    # halted and restarted (session rebuild) when their window closes.
+    chaos_plan: Optional[ChaosPlan] = None
 
 
 class LOSimulation:
@@ -132,12 +137,32 @@ class LOSimulation:
                 eligible=self._can_propose,
             )
 
+        self.chaos: Optional[ChaosController] = None
+        if params.chaos_plan is not None:
+            self.chaos = ChaosController(
+                self.loop,
+                self.network,
+                params.chaos_plan,
+                halt=self._halt_node,
+                restart=self._restart_node,
+            ).install()
+
         for node in self.nodes.values():
             node.start()
         for shuffler in self.shufflers.values():
             shuffler.start()
         if self.leader_schedule is not None:
             self.leader_schedule.start()
+
+    def _halt_node(self, node_id: int) -> None:
+        node = self.nodes.get(node_id)
+        if node is not None:
+            node.stop()
+
+    def _restart_node(self, node_id: int) -> None:
+        node = self.nodes.get(node_id)
+        if node is not None:
+            node.restart()
 
     def _blocklist_ids(self, node: LONode):
         """Suspected/exposed peers of ``node`` as node ids, for the shuffler."""
@@ -242,3 +267,11 @@ class LOSimulation:
     def total_overhead_bytes(self) -> int:
         """Protocol overhead bytes sent across the whole network."""
         return self.network.total_overhead_bytes()
+
+    def drop_breakdown(self) -> Dict[str, int]:
+        """Per-reason message drop counts from the network layer."""
+        return self.network.drop_breakdown()
+
+    def wire_violation_totals(self) -> Dict[int, int]:
+        """Per-observing-node count of malformed inbound messages."""
+        return self.counter.per_node("wire_violations")

@@ -12,6 +12,13 @@ outgoing connections and accepts at most 125 incoming ones, the default
 Bitcoin parameters.
 """
 
+from repro.net.chaos import (
+    ChaosController,
+    ChaosInjector,
+    ChaosPlan,
+    CrashWindow,
+    corrupt_payload,
+)
 from repro.net.latency import (
     CityLatencyModel,
     ConstantLatencyModel,
@@ -23,9 +30,14 @@ from repro.net.network import Endpoint, Network, NodeId
 from repro.net.topology import TopologyBuilder, TopologyError
 
 __all__ = [
+    "ChaosController",
+    "ChaosInjector",
+    "ChaosPlan",
     "CityLatencyModel",
     "ConstantLatencyModel",
+    "CrashWindow",
     "Endpoint",
+    "corrupt_payload",
     "LatencyModel",
     "Message",
     "Network",

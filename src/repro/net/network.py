@@ -9,7 +9,13 @@ payload, which is exactly the accounting Fig. 9 needs.
 Fault injection: nodes can be crashed (drop everything), partitioned
 (drop messages crossing the partition), or have per-link drops installed --
 used by the accountability experiments where faulty miners "avoid
-interacting with some other nodes" (section 3.1).
+interacting with some other nodes" (section 3.1).  Richer fault models
+(probabilistic drop, duplication, reordering, payload corruption) plug in
+through :meth:`Network.set_fault_injector`; see :mod:`repro.net.chaos`.
+
+Every dropped message is attributed to a reason in ``drop_reasons``
+(``crashed`` / ``blocked_link`` / ``partition`` / ``hook`` / ``chaos`` /
+``no_endpoint``); ``dropped_messages`` remains the running total.
 """
 
 from __future__ import annotations
@@ -105,7 +111,13 @@ class Network:
         self._partition: Optional[List[Set[NodeId]]] = None
         self.dropped_messages = 0
         self.delivered_messages = 0
+        self.drop_reasons: Dict[str, int] = defaultdict(int)
         self._delivery_hooks: List[Callable[[Message], bool]] = []
+        # Optional injector consulted at scheduling time; maps one logical
+        # send to zero or more (delay, message) deliveries (repro.net.chaos).
+        self._fault_injector: Optional[
+            Callable[[Message, float], List[Tuple[float, Message]]]
+        ] = None
 
     # ----------------------------------------------------------- membership
 
@@ -118,8 +130,20 @@ class Network:
         self.meters[node_id] = BandwidthMeter()
 
     def unregister(self, node_id: NodeId) -> None:
-        """Detach a node (it stops receiving); meter is retained."""
+        """Detach a node (it stops receiving); meter is retained.
+
+        Any fault state referring to the id is cleared as well, so a later
+        :meth:`register` under the same id starts from a clean slate instead
+        of silently inheriting old crashes, blocked links or partitions.
+        """
         self.nodes.pop(node_id, None)
+        self._crashed.discard(node_id)
+        self._blocked_links = {
+            link for link in self._blocked_links if node_id not in link
+        }
+        if self._partition is not None:
+            for group in self._partition:
+                group.discard(node_id)
 
     # ------------------------------------------------------- fault injection
 
@@ -155,6 +179,29 @@ class Network:
         """Register a predicate consulted per message; ``False`` drops it."""
         self._delivery_hooks.append(hook)
 
+    def set_fault_injector(
+        self,
+        injector: Optional[Callable[[Message, float], List[Tuple[float, Message]]]],
+    ) -> None:
+        """Install (or clear, with ``None``) the chaos fault injector.
+
+        The injector sees every message that survived the crash / link /
+        partition / hook checks, together with its modelled delay, and
+        returns the deliveries that should actually happen: an empty list
+        drops the message (counted under ``chaos``), several entries
+        duplicate it, altered delays reorder it and altered payloads
+        corrupt it.
+        """
+        self._fault_injector = injector
+
+    def _drop(self, reason: str) -> None:
+        self.dropped_messages += 1
+        self.drop_reasons[reason] += 1
+
+    def drop_breakdown(self) -> Dict[str, int]:
+        """Per-reason drop counts (copy); reasons never hit are absent."""
+        return dict(self.drop_reasons)
+
     def _crosses_partition(self, sender: NodeId, recipient: NodeId) -> bool:
         if self._partition is None:
             return False
@@ -186,28 +233,36 @@ class Network:
         if meter is not None:
             meter.record_send(message)
         if sender in self._crashed or recipient in self._crashed:
-            self.dropped_messages += 1
+            self._drop("crashed")
             return
         if (sender, recipient) in self._blocked_links:
-            self.dropped_messages += 1
+            self._drop("blocked_link")
             return
         if self._crosses_partition(sender, recipient):
-            self.dropped_messages += 1
+            self._drop("partition")
             return
         for hook in self._delivery_hooks:
             if not hook(message):
-                self.dropped_messages += 1
+                self._drop("hook")
                 return
         delay = self.latency_model.delay(sender, recipient)
+        if self._fault_injector is not None:
+            deliveries = self._fault_injector(message, delay)
+            if not deliveries:
+                self._drop("chaos")
+                return
+            for when, mutated in deliveries:
+                self.loop.call_later(when, self._deliver, mutated)
+            return
         self.loop.call_later(delay, self._deliver, message)
 
     def _deliver(self, message: Message) -> None:
         if message.recipient in self._crashed:
-            self.dropped_messages += 1
+            self._drop("crashed")
             return
         endpoint = self.nodes.get(message.recipient)
         if endpoint is None:
-            self.dropped_messages += 1
+            self._drop("no_endpoint")
             return
         meter = self.meters.get(message.recipient)
         if meter is not None:

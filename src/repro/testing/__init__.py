@@ -1,0 +1,21 @@
+"""Reusable correctness harnesses for robustness and chaos runs."""
+
+from repro.testing.invariants import (
+    InvariantMonitor,
+    InvariantViolation,
+    assert_append_only_logs,
+    assert_mempool_convergence,
+    assert_no_false_exposures,
+    assert_suspicions_cleared,
+    check_chaos_invariants,
+)
+
+__all__ = [
+    "InvariantMonitor",
+    "InvariantViolation",
+    "assert_append_only_logs",
+    "assert_mempool_convergence",
+    "assert_no_false_exposures",
+    "assert_suspicions_cleared",
+    "check_chaos_invariants",
+]

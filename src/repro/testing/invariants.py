@@ -1,0 +1,167 @@
+"""Safety invariants that must survive ANY fault schedule.
+
+The chaos subsystem (:mod:`repro.net.chaos`) can drop, duplicate,
+reorder and corrupt messages and crash-restart nodes -- none of which is
+allowed to break accountability's safety promises (section 3.2):
+
+* **No false positives** -- a correct node is never *exposed*, no matter
+  how hostile the network was.
+* **Temporal accuracy** -- suspicions of correct nodes are transient:
+  once the faults heal and the network quiesces, they have cleared.
+* **Append-only commitments** -- a node's bundle digest chain only ever
+  grows; no rewrite survives a crash/restart.
+* **Convergence after heal** -- every injected transaction reaches every
+  correct node once faults stop.
+
+:class:`InvariantMonitor` samples the append-only invariant *during* the
+run (an end-state check could miss a rewrite-then-regrow); the
+``assert_*`` helpers check end-state properties.  All helpers raise
+:class:`InvariantViolation` with a readable account of what broke.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class InvariantViolation(AssertionError):
+    """A chaos-run safety invariant did not hold."""
+
+
+class InvariantMonitor:
+    """Periodically samples per-node commitment chains for append-only-ness.
+
+    Usage::
+
+        monitor = InvariantMonitor(sim, period_s=2.0)
+        monitor.start()
+        sim.run(60.0)
+        monitor.verify()   # raises InvariantViolation on any regression
+    """
+
+    def __init__(self, sim, period_s: float = 2.0):
+        if period_s <= 0:
+            raise ValueError(f"period must be > 0, got {period_s}")
+        self.sim = sim
+        self.period_s = period_s
+        self.violations: List[str] = []
+        self._last_chain: Dict[int, Tuple[bytes, ...]] = {}
+        self._samples = 0
+
+    def start(self) -> "InvariantMonitor":
+        self.sim.loop.call_later(self.period_s, self._tick)
+        return self
+
+    def _tick(self) -> None:
+        self._samples += 1
+        for node_id, node in self.sim.nodes.items():
+            chain = tuple(node._digest_chain)
+            previous = self._last_chain.get(node_id, ())
+            if chain[: len(previous)] != previous:
+                self.violations.append(
+                    f"node {node_id}: digest chain rewrote history at"
+                    f" t={self.sim.loop.now:.2f} (had {len(previous)}"
+                    f" bundles, now {len(chain)})"
+                )
+            self._last_chain[node_id] = chain
+        self.sim.loop.call_later(self.period_s, self._tick)
+
+    def verify(self) -> None:
+        """Raise if any sampled node ever rewrote its commitment chain."""
+        if self._samples == 0:
+            raise InvariantViolation("monitor never sampled; was it started?")
+        if self.violations:
+            raise InvariantViolation(
+                "append-only violated:\n  " + "\n  ".join(self.violations)
+            )
+
+
+def _correct_pairs(sim):
+    """(observer node, observed id, observed key) over correct nodes only."""
+    for observer_id in sim.correct_ids:
+        observer = sim.nodes[observer_id]
+        for observed_id in sim.correct_ids:
+            if observed_id == observer_id:
+                continue
+            yield observer, observed_id, sim.directory.key_of(observed_id)
+
+
+def assert_no_false_exposures(sim) -> None:
+    """No correct node may hold an exposure of another correct node."""
+    broken = [
+        f"node {observer.node_id} exposed correct node {observed_id}"
+        for observer, observed_id, key in _correct_pairs(sim)
+        if observer.acct.is_exposed(key)
+    ]
+    if broken:
+        raise InvariantViolation(
+            "false exposures (no-false-positives broken):\n  "
+            + "\n  ".join(broken)
+        )
+
+
+def assert_suspicions_cleared(sim) -> None:
+    """After heal + quiescence, no correct node still suspects a correct one."""
+    broken = [
+        f"node {observer.node_id} still suspects correct node {observed_id}"
+        for observer, observed_id, key in _correct_pairs(sim)
+        if observer.acct.is_suspected(key)
+    ]
+    if broken:
+        raise InvariantViolation(
+            "stale suspicions (temporal accuracy broken):\n  "
+            + "\n  ".join(broken)
+        )
+
+
+def assert_append_only_logs(sim) -> None:
+    """End-state cross-check: bundles, digest chain and log sizes agree."""
+    broken = []
+    for node_id, node in sim.nodes.items():
+        if len(node._digest_chain) != len(node.bundles):
+            broken.append(
+                f"node {node_id}: {len(node.bundles)} bundles vs"
+                f" {len(node._digest_chain)} chain digests"
+            )
+        committed = sum(len(b.ids) for b in node.bundles)
+        if committed != len(node.log):
+            broken.append(
+                f"node {node_id}: bundles commit {committed} ids but log"
+                f" holds {len(node.log)}"
+            )
+    if broken:
+        raise InvariantViolation(
+            "commitment bookkeeping diverged:\n  " + "\n  ".join(broken)
+        )
+
+
+def assert_mempool_convergence(
+    sim,
+    items: Optional[Sequence[int]] = None,
+    min_fraction: float = 1.0,
+) -> None:
+    """Every tracked transaction reached >= min_fraction of correct nodes."""
+    tracked = list(items) if items is not None else sim.mempool_tracker.items()
+    broken = []
+    for item in tracked:
+        fraction = sim.convergence_fraction(item)
+        if fraction < min_fraction:
+            broken.append(f"tx {item}: coverage {fraction:.2f} < {min_fraction:.2f}")
+    if broken:
+        raise InvariantViolation(
+            "mempool did not converge after heal:\n  " + "\n  ".join(broken)
+        )
+
+
+def check_chaos_invariants(
+    sim,
+    monitor: Optional[InvariantMonitor] = None,
+    min_fraction: float = 1.0,
+) -> None:
+    """The full post-chaos battery, one call."""
+    assert_no_false_exposures(sim)
+    assert_suspicions_cleared(sim)
+    assert_append_only_logs(sim)
+    assert_mempool_convergence(sim, min_fraction=min_fraction)
+    if monitor is not None:
+        monitor.verify()

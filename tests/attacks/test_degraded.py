@@ -58,6 +58,43 @@ def test_slow_node_not_perpetually_suspected():
     assert not suspecters
 
 
+def test_slow_node_near_timeout_transiently_suspected_then_cleared():
+    # Temporal accuracy (section 3.2): a correct-but-slow node whose
+    # processing delay lands just beyond the request timeout IS suspected
+    # transiently, is NEVER exposed, and the suspicion clears once its
+    # (late) answers land.  Retries are disabled so the first missed
+    # deadline already raises the suspicion.
+    config = LOConfig(request_timeout_s=1.0, request_retries=0)
+    sim = make_sim(
+        num_nodes=10, config=config, malicious_ids=[4],
+        attacker_factory=slow_factory(1.2),
+    )
+    for i in range(6):
+        sim.inject_at(0.2 + 0.3 * i, i % 10, fee=10)
+    key = sim.directory.key_of(4)
+    ever_suspected = False
+    for checkpoint in range(1, 31):
+        sim.run(float(checkpoint))
+        ever_suspected = ever_suspected or any(
+            sim.nodes[nid].acct.is_suspected(key) for nid in sim.correct_ids
+        )
+        # No false positives, at every sampled instant.
+        assert not any(
+            sim.nodes[nid].acct.is_exposed(key) for nid in sim.correct_ids
+        )
+    assert ever_suspected  # the deadline misses were noticed...
+    sim.run(90.0)  # ...and a quiet period lets the late answers clear them
+    assert not any(
+        sim.nodes[nid].acct.is_suspected(key) for nid in sim.correct_ids
+    )
+    assert not any(
+        sim.nodes[nid].acct.is_exposed(key) for nid in sim.correct_ids
+    )
+    # The slow node still converged (it is correct, just late).
+    for item in sim.mempool_tracker.items():
+        assert item in sim.nodes[4].log
+
+
 def test_invalid_spam_never_committed():
     sim = make_sim(
         num_nodes=8, malicious_ids=[0],

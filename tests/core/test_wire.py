@@ -1,0 +1,156 @@
+"""Unit tests for ingress schema validation and peer quarantine."""
+
+import pytest
+
+from repro.core.commitment import sign_header
+from repro.core.reconciliation import (
+    ContentRequest,
+    ContentResponse,
+    SplitSpec,
+    SyncRequest,
+    SyncResponse,
+)
+from repro.core.wire import PeerQuarantine, validate_payload
+from repro.crypto.keys import KeyPair
+from repro.bloomclock import BloomClock
+from repro.mempool.transaction import make_transaction
+from repro.sketch import PinSketch
+
+
+def make_header(seed=b"wire-test", seq=0):
+    keypair = KeyPair.generate(seed=seed)
+    return sign_header(
+        keypair, seq=seq, tx_count=0, digests=(), clock=BloomClock(cells=32)
+    )
+
+
+def make_sync_request():
+    return SyncRequest(
+        request_id=1,
+        header=make_header(),
+        spec=SplitSpec(tuple(range(4))),
+        sketch=PinSketch(capacity=8, m=32),
+    )
+
+
+def test_well_formed_payloads_pass():
+    assert validate_payload("lo/sync_req", make_sync_request()) is None
+    assert validate_payload("lo/commit_upd", make_header()) is None
+    assert validate_payload("lo/content_req", ContentRequest(0, (1, 2))) is None
+    assert validate_payload("lo/block_req", 3) is None
+    assert validate_payload("lo/status_query", (1_000_000, 42)) is None
+    tx = make_transaction(KeyPair.generate(seed=b"c"), 1, fee=5, created_at=0.0)
+    assert validate_payload("lo/client_submit", tx) is None
+    assert validate_payload("lo/content_resp", ContentResponse(0, (tx,))) is None
+
+
+def test_type_confusion_rejected():
+    request = make_sync_request()
+    for msg_type in ("lo/sync_req", "lo/sync_resp", "lo/commit_upd",
+                     "lo/suspicion", "lo/exposure", "lo/block",
+                     "lo/content_req", "lo/content_resp", "lo/client_submit"):
+        for garbage in (None, 42, b"\x00" * 8, "boo", [], {}, (1, 2, 3)):
+            assert validate_payload(msg_type, garbage) is not None
+    # The right dataclass under the wrong type tag is also rejected.
+    assert validate_payload("lo/sync_resp", request) is not None
+    assert validate_payload("lo/block_req", request) is not None
+
+
+def test_field_level_corruption_rejected():
+    request = make_sync_request()
+    import dataclasses
+
+    bad_header = dataclasses.replace(request, header=b"not-a-header")
+    assert "header" in validate_payload("lo/sync_req", bad_header)
+    bad_spec = dataclasses.replace(request, spec=SplitSpec((-1, 2)))
+    assert "cells" in validate_payload("lo/sync_req", bad_spec)
+    bad_id = dataclasses.replace(request, request_id="nope")
+    assert "request_id" in validate_payload("lo/sync_req", bad_id)
+
+
+def test_sync_response_status_enum_enforced():
+    response = SyncResponse(request_id=1, header=make_header(), status="pwned")
+    assert "status" in validate_payload("lo/sync_resp", response)
+
+
+def test_bool_is_not_an_int():
+    # bools slip through isinstance(int) checks unless explicitly excluded.
+    assert validate_payload("lo/block_req", True) is not None
+
+
+def test_unknown_message_type_is_violation():
+    assert "unknown message type" in validate_payload("lo/evil", None)
+
+
+def test_validator_crash_becomes_reason_not_exception():
+    class Hostile:
+        def __getattr__(self, name):
+            raise RuntimeError("gotcha")
+
+    # Hostile objects must never escape the validator as exceptions.
+    for msg_type in ("lo/sync_req", "lo/commit_upd", "lo/status_query"):
+        reason = validate_payload(msg_type, Hostile())
+        assert reason is not None
+
+
+def test_nan_raised_at_rejected():
+    from repro.core.accountability import SuspicionBlame
+
+    key_a = KeyPair.generate(seed=b"a").public_key
+    key_b = KeyPair.generate(seed=b"b").public_key
+    blame = SuspicionBlame(
+        accuser=key_a, accused=key_b, kind="sync", detail=(),
+        last_known=None, raised_at=float("nan"),
+    )
+    assert "NaN" in validate_payload("lo/suspicion", blame)
+
+
+# ------------------------------------------------------------- quarantine
+
+
+def test_quarantine_opens_at_threshold():
+    q = PeerQuarantine(threshold=3, base_s=10.0, max_s=100.0)
+    assert not q.record_violation(5, now=0.0)
+    assert not q.record_violation(5, now=1.0)
+    assert not q.is_quarantined(5, now=1.5)
+    assert q.record_violation(5, now=2.0)  # third strike opens the episode
+    assert q.is_quarantined(5, now=2.1)
+    assert q.release_time(5) == pytest.approx(12.0)
+    assert q.violations_of(5) == 3
+
+
+def test_quarantine_expires_and_backoff_doubles():
+    q = PeerQuarantine(threshold=2, base_s=4.0, max_s=10.0)
+    q.record_violation(1, now=0.0)
+    assert q.record_violation(1, now=0.1)          # episode 1: 4 s
+    assert q.is_quarantined(1, now=3.9)
+    assert not q.is_quarantined(1, now=4.2)        # re-admitted
+    q.record_violation(1, now=5.0)
+    assert q.record_violation(1, now=5.1)          # episode 2: 8 s
+    assert q.release_time(1) == pytest.approx(13.1)
+    q.record_violation(1, now=14.0)
+    assert q.record_violation(1, now=14.1)         # episode 3: capped at 10 s
+    assert q.release_time(1) == pytest.approx(24.1)
+    assert q.snapshot()[1] == (6, 3)
+
+
+def test_violations_during_quarantine_do_not_extend_it():
+    q = PeerQuarantine(threshold=1, base_s=5.0, max_s=50.0)
+    assert q.record_violation(9, now=0.0)
+    release = q.release_time(9)
+    assert not q.record_violation(9, now=1.0)
+    assert q.release_time(9) == release
+
+
+def test_quarantine_is_per_peer():
+    q = PeerQuarantine(threshold=1, base_s=5.0, max_s=50.0)
+    q.record_violation(1, now=0.0)
+    assert q.is_quarantined(1, now=0.1)
+    assert not q.is_quarantined(2, now=0.1)
+
+
+def test_quarantine_rejects_bad_params():
+    with pytest.raises(ValueError):
+        PeerQuarantine(threshold=0)
+    with pytest.raises(ValueError):
+        PeerQuarantine(base_s=10.0, max_s=1.0)

@@ -1,0 +1,163 @@
+"""Unit tests for the seeded chaos fault injector."""
+
+import random
+
+import pytest
+
+from repro.net import ConstantLatencyModel, Network
+from repro.net.chaos import (
+    ChaosController,
+    ChaosInjector,
+    ChaosPlan,
+    CrashWindow,
+    corrupt_payload,
+)
+from repro.net.message import Message
+from repro.net.network import Endpoint
+from repro.sim import EventLoop
+
+
+class Recorder(Endpoint):
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.received = []
+
+    def on_message(self, message):
+        self.received.append(message)
+
+
+def make_net(n=3, delay=0.05, plan=None):
+    loop = EventLoop()
+    net = Network(loop, ConstantLatencyModel(delay))
+    nodes = [Recorder(i) for i in range(n)]
+    for node in nodes:
+        net.register(node)
+    if plan is not None:
+        net.set_fault_injector(ChaosInjector(plan))
+    return loop, net, nodes
+
+
+def test_plan_validates_rates_and_windows():
+    with pytest.raises(ValueError):
+        ChaosPlan(drop_rate=1.5)
+    with pytest.raises(ValueError):
+        ChaosPlan(corrupt_rate=-0.1)
+    with pytest.raises(ValueError):
+        ChaosPlan(max_jitter_s=-1.0)
+    with pytest.raises(ValueError):
+        CrashWindow(node_id=1, crash_at=5.0, recover_at=5.0)
+    plan = ChaosPlan(crash_windows=(
+        CrashWindow(2, 1.0, 3.0), CrashWindow(1, 0.0, 2.0), CrashWindow(2, 5.0, 6.0),
+    ))
+    assert plan.crashed_ids() == (1, 2)
+
+
+def test_drop_rate_one_drops_everything_under_chaos_reason():
+    loop, net, nodes = make_net(plan=ChaosPlan(seed=1, drop_rate=1.0))
+    for _ in range(10):
+        net.send(0, 1, "x", None, wire_bytes=1)
+    loop.run_until(1.0)
+    assert nodes[1].received == []
+    assert net.drop_breakdown() == {"chaos": 10}
+    assert net.dropped_messages == 10
+
+
+def test_duplicate_rate_one_delivers_twice():
+    loop, net, nodes = make_net(plan=ChaosPlan(seed=1, duplicate_rate=1.0))
+    net.send(0, 1, "x", "payload", wire_bytes=1)
+    loop.run_until(2.0)
+    assert len(nodes[1].received) == 2
+    assert all(m.payload == "payload" for m in nodes[1].received)
+
+
+def test_reorder_jitter_can_invert_delivery_order():
+    plan = ChaosPlan(seed=3, reorder_rate=0.5, max_jitter_s=1.0)
+    loop, net, nodes = make_net(delay=0.01, plan=plan)
+    for i in range(40):
+        net.send(0, 1, "seq", i, wire_bytes=1)
+    loop.run_until(5.0)
+    order = [m.payload for m in nodes[1].received]
+    assert sorted(order) == list(range(40))
+    assert order != list(range(40))  # at least one inversion happened
+
+
+def test_corruption_replaces_payload_not_envelope():
+    plan = ChaosPlan(seed=5, corrupt_rate=1.0)
+    loop, net, nodes = make_net(plan=plan)
+    net.send(0, 1, "typed", ("a", "b"), wire_bytes=7)
+    loop.run_until(1.0)
+    (message,) = nodes[1].received
+    assert message.msg_type == "typed"
+    assert message.wire_bytes == 7
+    assert message.payload != ("a", "b")
+
+
+def test_protected_types_never_corrupted():
+    plan = ChaosPlan(seed=5, corrupt_rate=1.0, protected_types=("ctl",))
+    loop, net, nodes = make_net(plan=plan)
+    net.send(0, 1, "ctl", ("a", "b"), wire_bytes=1)
+    loop.run_until(1.0)
+    assert nodes[1].received[0].payload == ("a", "b")
+
+
+def test_injector_decisions_deterministic_from_seed():
+    def fingerprint(seed):
+        plan = ChaosPlan(
+            seed=seed, drop_rate=0.2, duplicate_rate=0.2,
+            reorder_rate=0.4, max_jitter_s=0.3, corrupt_rate=0.2,
+        )
+        loop, net, nodes = make_net(plan=plan)
+        for i in range(60):
+            net.send(0, 1, "m", i, wire_bytes=1)
+        loop.run_until(5.0)
+        return (
+            [repr(m.payload) for m in nodes[1].received],
+            net.drop_breakdown(),
+        )
+
+    assert fingerprint(11) == fingerprint(11)
+    assert fingerprint(11) != fingerprint(12)
+
+
+def test_counters_account_for_every_examined_message():
+    plan = ChaosPlan(seed=2, drop_rate=0.3, duplicate_rate=0.3)
+    loop, net, nodes = make_net(plan=plan)
+    injector = ChaosInjector(plan)
+    net.set_fault_injector(injector)
+    for i in range(100):
+        net.send(0, 1, "m", i, wire_bytes=1)
+    loop.run_until(5.0)
+    counters = injector.counters
+    assert counters.examined == 100
+    assert counters.dropped == net.drop_breakdown()["chaos"]
+    assert len(nodes[1].received) == 100 - counters.dropped + counters.duplicated
+
+
+def test_controller_runs_crash_windows_and_restart_hook():
+    plan = ChaosPlan(crash_windows=(CrashWindow(1, 1.0, 2.0),))
+    loop, net, nodes = make_net()
+    halted, restarted = [], []
+    ChaosController(
+        loop, net, plan, halt=halted.append, restart=restarted.append,
+    ).install()
+    net.send(0, 1, "before", None, wire_bytes=1)
+    loop.run_until(0.5)
+    loop.run_until(1.5)
+    net.send(0, 1, "during", None, wire_bytes=1)
+    loop.run_until(1.9)
+    loop.run_until(2.5)
+    net.send(0, 1, "after", None, wire_bytes=1)
+    loop.run_until(3.0)
+    assert [m.msg_type for m in nodes[1].received] == ["before", "after"]
+    assert halted == [1] and restarted == [1]
+    assert net.drop_breakdown()["crashed"] == 1
+
+
+def test_corrupt_payload_mutates_dataclasses_and_tuples():
+    rng = random.Random(0)
+    base = ("x", "y", "z")
+    assert any(corrupt_payload(base, rng) != base for _ in range(10))
+    message = Message(0, 1, "t", None, wire_bytes=1)
+    for _ in range(20):
+        mutated = corrupt_payload(message, rng)
+        assert mutated != message or not isinstance(mutated, Message)

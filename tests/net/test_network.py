@@ -143,3 +143,61 @@ def test_delivered_message_count():
     loop.run_until(1.0)
     assert net.delivered_messages == 3
     assert net.meters[1].recv_messages == 3
+
+
+def test_drop_reason_breakdown():
+    loop, net, nodes = make_net(n=4)
+    net.crash(3)
+    net.send(0, 3, "a", None, wire_bytes=1)          # crashed
+    net.recover(3)
+    net.block_link(0, 1)
+    net.send(0, 1, "b", None, wire_bytes=1)          # blocked link
+    net.unblock_link(0, 1)
+    net.partition([{0}, {1, 2, 3}])
+    net.send(0, 1, "c", None, wire_bytes=1)          # partition
+    net.heal_partition()
+    net.add_delivery_hook(lambda m: m.msg_type != "spam")
+    net.send(0, 1, "spam", None, wire_bytes=1)       # hook
+    net.send(0, 99, "d", None, wire_bytes=1)         # no endpoint
+    loop.run_until(2.0)
+    assert net.drop_breakdown() == {
+        "crashed": 1,
+        "blocked_link": 1,
+        "partition": 1,
+        "hook": 1,
+        "no_endpoint": 1,
+    }
+    assert net.dropped_messages == 5
+
+
+def test_unregister_clears_fault_state_for_reused_id():
+    loop, net, nodes = make_net()
+    net.crash(1)
+    net.block_link(0, 1)
+    net.block_link(1, 2)
+    net.partition([{0, 1}, {2}])
+    net.unregister(1)
+    # A fresh node re-registered under the old id must not inherit faults.
+    fresh = Recorder(1)
+    net.register(fresh)
+    net.partition([{0, 1, 2}])
+    net.send(0, 1, "hello", None, wire_bytes=1)
+    net.send(1, 2, "relay", None, wire_bytes=1)
+    loop.run_until(1.0)
+    assert len(fresh.received) == 1
+    assert len(nodes[2].received) == 1
+    assert not net.is_crashed(1)
+
+
+def test_unregister_removes_id_from_live_partition():
+    loop, net, nodes = make_net(n=3)
+    net.partition([{0, 1}, {2}])
+    net.send(2, 0, "before", None, wire_bytes=1)     # crosses: dropped
+    net.unregister(2)
+    replacement = Recorder(2)
+    net.register(replacement)
+    # Old group membership is gone: the reused id belongs to no partition
+    # group any more, so its own sends are not partition-filtered.
+    net.send(2, 0, "after", None, wire_bytes=1)
+    loop.run_until(1.0)
+    assert [m.msg_type for m in nodes[0].received] == ["after"]

@@ -17,6 +17,9 @@ PUBLIC_MODULES = [
     "repro.core",
     "repro.core.enforcement",
     "repro.core.client",
+    "repro.core.wire",
+    "repro.net.chaos",
+    "repro.testing",
     "repro.baselines",
     "repro.attacks",
     "repro.workload",
