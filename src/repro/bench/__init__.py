@@ -1,0 +1,72 @@
+"""``repro.bench``: the performance-tracking benchmark subsystem.
+
+Entry points:
+
+* ``python -m repro bench`` -- run the suites from a shell; writes
+  ``BENCH_sketch.json`` and ``BENCH_reconcile.json`` (schema
+  ``repro.bench/1``, documented in :mod:`repro.bench.runner` and in
+  README "Benchmarks").
+* :func:`run_suites` -- the same programmatically.
+* :func:`bench_case` / :func:`write_bench_json` -- building blocks for
+  ad-hoc measurements.
+
+Distinct from the top-level ``benchmarks/`` pytest tree, which regenerates
+the *paper's* tables and figures; this package tracks the *implementation's*
+hot-path performance (GF kernels, sketch decode, reconciliation rounds)
+across PRs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Iterable, Optional
+
+from repro.bench.runner import (
+    SCHEMA,
+    BenchResult,
+    bench_case,
+    bench_payload,
+    write_bench_json,
+)
+from repro.bench.suites import SUITES, reconcile_suite, sketch_suite
+
+__all__ = [
+    "SCHEMA",
+    "SUITES",
+    "BenchResult",
+    "bench_case",
+    "bench_payload",
+    "reconcile_suite",
+    "run_suites",
+    "sketch_suite",
+    "write_bench_json",
+]
+
+
+def run_suites(
+    names: Optional[Iterable[str]] = None,
+    *,
+    quick: bool = False,
+    seed: int = 42,
+    out_dir: str = ".",
+) -> Dict[str, Dict[str, Any]]:
+    """Run the named suites (default: all) and write ``BENCH_<name>.json``.
+
+    Returns ``{suite: payload}`` with each payload in the ``repro.bench/1``
+    schema, including the output ``path`` it was written to.
+    """
+    selected = list(names) if names is not None else sorted(SUITES)
+    unknown = [n for n in selected if n not in SUITES]
+    if unknown:
+        raise ValueError(f"unknown bench suite(s): {unknown}; have {sorted(SUITES)}")
+    os.makedirs(out_dir, exist_ok=True)
+    payloads: Dict[str, Dict[str, Any]] = {}
+    for name in selected:
+        results, derived, params = SUITES[name](quick=quick, seed=seed)
+        path = os.path.join(out_dir, f"BENCH_{name}.json")
+        payload = write_bench_json(
+            path, name, results, derived=derived, params=params
+        )
+        payload["path"] = path
+        payloads[name] = payload
+    return payloads

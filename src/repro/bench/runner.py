@@ -1,0 +1,161 @@
+"""Micro-benchmark runner with a stable JSON output schema.
+
+The runner exists so the performance trajectory of the hot paths (GF
+arithmetic, sketch add/decode, full reconciliation rounds) is *tracked*,
+not anecdotal: every run emits ``BENCH_<suite>.json`` files in the
+``repro.bench/1`` schema below, and CI uploads them as artifacts so
+successive PRs can be compared.
+
+Schema ``repro.bench/1`` (one file per suite)::
+
+    {
+      "schema": "repro.bench/1",       # schema id; bump on shape changes
+      "suite": "sketch",               # suite name (file is BENCH_<suite>.json)
+      "created_unix": 1720000000,      # wall-clock seconds at write time
+      "python": "3.11.7",              # interpreter version
+      "numpy": "2.4.6" | null,         # numpy version, null when absent
+      "fast_path": true,               # vectorised kernels active for the run
+      "params": {...},                 # suite-level knobs (quick, seed, sizes)
+      "results": [                     # one entry per timed case
+        {
+          "name": "decode/m=16/cap=64/fast",
+          "params": {...},             # case-specific parameters
+          "iterations": 10,            # timed calls per repeat
+          "repeats": 3,                # repeats (best one is reported)
+          "ops_per_call": 1,           # inner operations per timed call
+          "seconds_per_op": 0.0021,    # best repeat, per inner operation
+          "ops_per_second": 476.2
+        }, ...
+      ],
+      "derived": {                     # cross-case ratios (speedups etc.)
+        "decode_speedup_m16_cap64": 5.1, ...
+      }
+    }
+
+``seconds_per_op`` is the *minimum* over repeats -- the standard
+micro-benchmark estimator, least contaminated by scheduler noise.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+SCHEMA = "repro.bench/1"
+
+
+@dataclass
+class BenchResult:
+    """One timed case, in the shape serialised into ``results``."""
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    iterations: int = 1
+    repeats: int = 1
+    ops_per_call: int = 1
+    seconds_per_op: float = 0.0
+
+    @property
+    def ops_per_second(self) -> float:
+        """Throughput implied by the best repeat (0.0 for a zero timing)."""
+        return 1.0 / self.seconds_per_op if self.seconds_per_op > 0 else 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        """The ``results``-entry dict for this case."""
+        return {
+            "name": self.name,
+            "params": self.params,
+            "iterations": self.iterations,
+            "repeats": self.repeats,
+            "ops_per_call": self.ops_per_call,
+            "seconds_per_op": self.seconds_per_op,
+            "ops_per_second": self.ops_per_second,
+        }
+
+
+def bench_case(
+    name: str,
+    fn: Callable[[], Any],
+    *,
+    params: Optional[Dict[str, Any]] = None,
+    ops_per_call: int = 1,
+    iterations: Optional[int] = None,
+    repeats: int = 3,
+    target_seconds: float = 0.15,
+    max_iterations: int = 1_000_000,
+) -> BenchResult:
+    """Time ``fn`` and return a :class:`BenchResult`.
+
+    When ``iterations`` is not given it is calibrated from one warm-up call
+    so each repeat takes roughly ``target_seconds``.  The warm-up also
+    primes lazily-built tables so they are not charged to the measurement.
+    ``ops_per_call`` declares how many inner operations one ``fn()``
+    performs (e.g. the length of a batch), and per-op numbers divide by it.
+    """
+    start = time.perf_counter()
+    fn()  # warm-up; also calibration sample
+    warm = time.perf_counter() - start
+    if iterations is None:
+        iterations = max(1, min(max_iterations, int(target_seconds / max(warm, 1e-9))))
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed / iterations)
+    return BenchResult(
+        name=name,
+        params=dict(params or {}),
+        iterations=iterations,
+        repeats=repeats,
+        ops_per_call=ops_per_call,
+        seconds_per_op=best / max(1, ops_per_call),
+    )
+
+
+def bench_payload(
+    suite: str,
+    results: List[BenchResult],
+    *,
+    derived: Optional[Dict[str, float]] = None,
+    params: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the full ``repro.bench/1`` document for one suite."""
+    from repro.sketch.gf import fast_path_active
+
+    try:
+        import numpy
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy present in CI images
+        numpy_version = None
+    return {
+        "schema": SCHEMA,
+        "suite": suite,
+        "created_unix": int(time.time()),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "fast_path": fast_path_active(),
+        "params": dict(params or {}),
+        "results": [r.to_json() for r in results],
+        "derived": dict(derived or {}),
+    }
+
+
+def write_bench_json(
+    path: str,
+    suite: str,
+    results: List[BenchResult],
+    *,
+    derived: Optional[Dict[str, float]] = None,
+    params: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Write one suite's ``BENCH_*.json`` file; returns the payload."""
+    payload = bench_payload(suite, results, derived=derived, params=params)
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    return payload

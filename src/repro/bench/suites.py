@@ -1,0 +1,235 @@
+"""The benchmark suites behind ``python -m repro bench``.
+
+Two suites, each emitting one ``BENCH_*.json`` file (schema documented in
+:mod:`repro.bench.runner`):
+
+* ``sketch`` -- GF(2^m) multiply/inverse (scalar and batched), syndrome
+  generation (``PinSketch.add_all``), and sketch decode at the paper's
+  capacities, with the fast numpy path measured against the pure-Python
+  fallback so the speedup is tracked over time.
+* ``reconcile`` -- one full pairwise reconciliation round over the
+  hash-partitioned reconciler of section 6.5, at a paper-shaped set
+  difference, reporting decode counts and sketch bytes alongside latency.
+
+``quick=True`` shrinks every size so the whole run finishes in a few
+seconds; CI uses it as a smoke test and artifact generator.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Tuple
+
+from repro.bench.runner import BenchResult, bench_case
+from repro.sketch import PinSketch
+from repro.sketch.gf import default_field, have_numpy, set_fast_path
+from repro.sketch.partition import PartitionedReconciler
+from repro.sketch.pinsketch import clear_decode_cache, clear_syndrome_cache
+
+SuiteOutput = Tuple[List[BenchResult], Dict[str, float], Dict[str, Any]]
+
+
+def _with_fast_path(enabled: bool, fn):
+    """Run ``fn`` with the fast path forced on/off, restoring the setting."""
+    previous = set_fast_path(enabled)
+    try:
+        return fn()
+    finally:
+        set_fast_path(previous)
+
+
+def _derive_speedups(
+    results: List[BenchResult], derived: Dict[str, float]
+) -> None:
+    """For every ``<name>/fallback`` case with a ``<name>/fast`` twin,
+    record ``speedup_<name>`` = fallback seconds / fast seconds."""
+    by_name = {r.name: r for r in results}
+    for result in results:
+        if not result.name.endswith("/fallback"):
+            continue
+        stem = result.name[: -len("/fallback")]
+        fast = by_name.get(stem + "/fast")
+        if fast is not None and fast.seconds_per_op > 0:
+            key = "speedup_" + stem.replace("/", "_").replace("=", "")
+            derived[key] = result.seconds_per_op / fast.seconds_per_op
+
+
+def sketch_suite(quick: bool = False, seed: int = 42) -> SuiteOutput:
+    """GF kernels + sketch add/decode micro-benchmarks.
+
+    Returns ``(results, derived, params)``.  The headline derived number is
+    ``speedup_decode_m16_cap64`` -- the fast-path decode speedup over the
+    scalar baseline at the acceptance point m=16, capacity=64 (reduced
+    sizes under ``quick``).
+    """
+    rnd = random.Random(seed)
+    batch_n = 1024 if quick else 8192
+    cap = 32 if quick else 64
+    diff = 3 * cap // 4
+    repeats = 2 if quick else 3
+    results: List[BenchResult] = []
+    derived: Dict[str, float] = {}
+
+    # --- raw field arithmetic ------------------------------------------
+    for m in (16, 32):
+        field = default_field(m)
+        xs = [rnd.randrange(1, 1 << m) for _ in range(batch_n)]
+        ys = [rnd.randrange(1, 1 << m) for _ in range(batch_n)]
+
+        def scalar_mul(field=field, xs=xs, ys=ys):
+            mul = field.mul
+            for x, y in zip(xs, ys):
+                mul(x, y)
+
+        def batch_mul(field=field, xs=xs, ys=ys):
+            field.mul_batch(xs, ys)
+
+        def scalar_inv(field=field, xs=xs):
+            inv = field.inv
+            for x in xs:
+                inv(x)
+
+        def batch_inv(field=field, xs=xs):
+            field.inv_batch(xs)
+
+        results.append(bench_case(
+            f"gf_mul/m={m}/scalar", scalar_mul,
+            params={"m": m, "n": batch_n}, ops_per_call=batch_n,
+            repeats=repeats,
+        ))
+        if have_numpy():
+            results.append(bench_case(
+                f"gf_mul/m={m}/fast",
+                lambda f=batch_mul: _with_fast_path(True, f),
+                params={"m": m, "n": batch_n}, ops_per_call=batch_n,
+                repeats=repeats,
+            ))
+            results.append(bench_case(
+                f"gf_mul/m={m}/fallback",
+                lambda f=batch_mul: _with_fast_path(False, f),
+                params={"m": m, "n": batch_n}, ops_per_call=batch_n,
+                repeats=repeats,
+            ))
+        results.append(bench_case(
+            f"gf_inv/m={m}/scalar", scalar_inv,
+            params={"m": m, "n": batch_n}, ops_per_call=batch_n,
+            repeats=repeats,
+        ))
+        if have_numpy():
+            results.append(bench_case(
+                f"gf_inv/m={m}/fast",
+                lambda f=batch_inv: _with_fast_path(True, f),
+                params={"m": m, "n": batch_n}, ops_per_call=batch_n,
+                repeats=repeats,
+            ))
+
+    # --- syndrome generation (sketch add) ------------------------------
+    for m in (16, 32):
+        ids = rnd.sample(range(1, (1 << m) - 1), diff)
+
+        def add_cold(m=m, ids=ids):
+            clear_syndrome_cache()
+            sketch = PinSketch(cap, m)
+            sketch.add_all(ids)
+
+        def add_warm(m=m, ids=ids):
+            sketch = PinSketch(cap, m)
+            sketch.add_all(ids)
+
+        for label, fn in (("cold", add_cold), ("warm", add_warm)):
+            results.append(bench_case(
+                f"sketch_add/m={m}/cap={cap}/{label}", fn,
+                params={"m": m, "capacity": cap, "elements": diff},
+                ops_per_call=diff, repeats=repeats,
+            ))
+
+    # --- decode at the acceptance point --------------------------------
+    for m in (16, 32):
+        items = rnd.sample(range(1, (1 << m) - 1), diff)
+        sketch = PinSketch(cap, m)
+        sketch.add_all(items)
+
+        def decode(sketch=sketch):
+            clear_decode_cache()
+            sketch.decode()
+
+        variants = [("fast", True), ("fallback", False)] if have_numpy() \
+            else [("fallback", False)]
+        for label, fast in variants:
+            results.append(bench_case(
+                f"decode/m={m}/cap={cap}/{label}",
+                lambda fast=fast, f=decode: _with_fast_path(fast, f),
+                params={"m": m, "capacity": cap, "difference": diff},
+                repeats=repeats,
+            ))
+
+    _derive_speedups(results, derived)
+    params = {"quick": quick, "seed": seed, "batch_n": batch_n,
+              "capacity": cap, "difference": diff}
+    return results, derived, params
+
+
+def reconcile_suite(quick: bool = False, seed: int = 42) -> SuiteOutput:
+    """One full pairwise reconciliation round (section 6.5 recursion).
+
+    Builds two overlapping id sets with a known symmetric difference and
+    times :meth:`PartitionedReconciler.reconcile_sets` end to end --
+    sketch construction, XOR combine, decode, bisection on failure --
+    with caches cleared per call so the cost is the real pipeline, not the
+    memoisation layer.  ``derived`` reports decode counts and wire bytes
+    from a verification run.
+    """
+    rnd = random.Random(seed)
+    diff = 32 if quick else 128
+    common = 100 if quick else 400
+    capacity = 16
+    repeats = 2 if quick else 3
+    universe = rnd.sample(range(1, 1 << 31), diff + common)
+    half = diff // 2
+    shared = set(universe[diff:])
+    set_a = set(universe[:half]) | shared
+    set_b = set(universe[half:diff]) | shared
+    reconciler = PartitionedReconciler(capacity=capacity, m=32)
+
+    # Verification pass: the decoded difference must be exact.
+    difference, stats = reconciler.reconcile_sets(set_a, set_b)
+    assert difference == set_a ^ set_b, "reconciliation must recover the diff"
+
+    def round_trip():
+        clear_decode_cache()
+        reconciler.reconcile_sets(set_a, set_b)
+
+    def round_trip_cold():
+        clear_decode_cache()
+        clear_syndrome_cache()
+        reconciler.reconcile_sets(set_a, set_b)
+
+    results = [
+        bench_case(
+            f"reconcile/diff={diff}/cap={capacity}/warm", round_trip,
+            params={"difference": diff, "common": common,
+                    "capacity": capacity, "m": 32},
+            repeats=repeats,
+        ),
+        bench_case(
+            f"reconcile/diff={diff}/cap={capacity}/cold", round_trip_cold,
+            params={"difference": diff, "common": common,
+                    "capacity": capacity, "m": 32},
+            repeats=repeats,
+        ),
+    ]
+    derived = {
+        "sketches_decoded": float(stats.sketches_decoded),
+        "decode_failures": float(stats.decode_failures),
+        "max_depth_reached": float(stats.max_depth_reached),
+        "bytes_transferred": float(stats.bytes_transferred),
+    }
+    params = {"quick": quick, "seed": seed, "difference": diff,
+              "common": common, "capacity": capacity}
+    return results, derived, params
+
+
+SUITES = {
+    "sketch": sketch_suite,
+    "reconcile": reconcile_suite,
+}

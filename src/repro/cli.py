@@ -186,6 +186,32 @@ def cmd_cpu(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.bench import run_suites
+
+    suites = None if args.suite == "all" else [args.suite]
+    payloads = run_suites(suites, quick=args.quick, seed=args.seed,
+                          out_dir=args.out_dir)
+    for name, payload in payloads.items():
+        rows = [
+            (r["name"], r["iterations"],
+             f"{r['seconds_per_op'] * 1e6:.1f}",
+             f"{r['ops_per_second']:.0f}")
+            for r in payload["results"]
+        ]
+        print(f"suite: {name}  (fast_path={payload['fast_path']})")
+        print(format_table(("case", "iters", "us_per_op", "ops_per_s"), rows))
+        if payload["derived"]:
+            print()
+            print(format_table(
+                ("derived", "value"),
+                [(k, f"{v:.2f}") for k, v in sorted(payload["derived"].items())],
+            ))
+        print(f"[json written to {payload['path']}]")
+        print()
+    return 0
+
+
 def _s(value: Optional[float]) -> str:
     return "n/a" if value is None else f"{value:.2f}"
 
@@ -259,6 +285,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--capacity", type=int, default=16)
     _add_common(p)
     p.set_defaults(func=cmd_cpu)
+
+    p = sub.add_parser(
+        "bench",
+        help="hot-path micro-benchmarks; writes BENCH_*.json "
+             "(schema repro.bench/1)",
+    )
+    p.add_argument("--suite", choices=["sketch", "reconcile", "all"],
+                   default="all")
+    p.add_argument("--quick", action="store_true",
+                   help="reduced sizes for CI smoke runs")
+    p.add_argument("--out-dir", type=str, default=".",
+                   help="directory for the BENCH_*.json files")
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -62,6 +62,7 @@ class SuspicionBlame:
     raised_at: float
 
     def wire_size(self) -> int:
+        """On-wire size: keys + timestamp + detail ids + header + signature."""
         header = self.last_known.wire_size() if self.last_known else 0
         return 32 + 32 + 8 + 4 * len(self.detail) + header + 64
 
@@ -113,6 +114,7 @@ class BlockViolationEvidence:
         return self.chain_matches_header()
 
     def wire_size(self) -> int:
+        """On-wire size: the full block, the violated header, ids, signature."""
         ids = sum(len(b) for b in self.bundle_ids)
         return self.block.wire_size() + self.header.wire_size() + 4 * ids + 64
 
@@ -140,6 +142,7 @@ class ExposureBlame:
         return False
 
     def wire_size(self) -> int:
+        """On-wire size of the accused key plus whichever proof is attached."""
         if self.equivocation is not None:
             return 32 + 2 * self.equivocation.header_a.wire_size() + 64
         if self.block_violation is not None:
@@ -256,6 +259,7 @@ class AccountabilityState:
         return False
 
     def is_suspected(self, target: PublicKey) -> bool:
+        """True while ``target`` has an unanswered suspicion against it."""
         return target in self.suspected
 
     def clear_suspicion(self, target: PublicKey) -> bool:
@@ -312,6 +316,7 @@ class AccountabilityState:
         return True
 
     def is_exposed(self, target: PublicKey) -> bool:
+        """True once a verified exposure proof against ``target`` is held."""
         return target in self.exposed
 
     def blocklist(self) -> Set[PublicKey]:

@@ -41,6 +41,7 @@ class SubmitAck:
     signature: bytes = b""
 
     def signing_bytes(self) -> bytes:
+        """Canonical bytes the miner signs: miner, txid, verdict, timestamp."""
         return b"|".join(
             (b"lo-ack", self.miner.raw, self.txid,
              b"1" if self.accepted else b"0", repr(self.at_time).encode())
@@ -51,6 +52,7 @@ class SubmitAck:
         return verify(self.miner, self.signing_bytes(), self.signature)
 
     def wire_size(self) -> int:
+        """On-wire size: two keys, verdict byte, timestamp, signature."""
         return 32 + 32 + 1 + 8 + 64
 
 
@@ -64,6 +66,7 @@ class StatusReply:
     at_time: float
 
     def wire_size(self) -> int:
+        """On-wire size: key, sketch id, status byte, timestamp."""
         return 32 + 4 + 1 + 8
 
 

@@ -94,6 +94,7 @@ class BundleInfo:
 
     @property
     def digest(self) -> bytes:
+        """The bundle digest chained into the commitment sequence."""
         return bundle_digest(self.ids)
 
 
@@ -114,6 +115,7 @@ class CommitmentHeader:
     signature: bytes = b""
 
     def signing_bytes(self) -> bytes:
+        """Canonical bytes covered by the miner's commitment signature."""
         tip = self.digests[-1] if self.digests else GENESIS_DIGEST
         return b"|".join(
             (

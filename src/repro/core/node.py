@@ -81,9 +81,11 @@ class Directory:
         self._by_key[key] = node_id
 
     def key_of(self, node_id: int) -> PublicKey:
+        """The public key registered for ``node_id`` (KeyError if unknown)."""
         return self._by_id[node_id]
 
     def id_of(self, key: PublicKey) -> int:
+        """The node id registered for ``key`` (KeyError if unknown)."""
         return self._by_key[key]
 
 
@@ -182,6 +184,7 @@ class LONode(Endpoint):
 
     @property
     def public_key(self) -> PublicKey:
+        """This node's long-term identity key."""
         return self.keypair.public_key
 
     @property
@@ -191,6 +194,7 @@ class LONode(Endpoint):
 
     @property
     def now(self) -> float:
+        """Current simulation time in seconds."""
         return self.loop.now
 
     def header(self) -> CommitmentHeader:

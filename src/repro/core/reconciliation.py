@@ -68,6 +68,7 @@ class SplitSpec:
         )
 
     def wire_size(self) -> int:
+        """On-wire size: one byte per cell index plus the bit refinement."""
         return len(self.cells) + 2
 
 
@@ -129,6 +130,7 @@ class SyncRequest:
     is_retry: bool = False
 
     def wire_size(self) -> int:
+        """On-wire size: header + split spec + sketch syndromes."""
         return self.header.wire_size() + self.spec.wire_size() + self.sketch.wire_size()
 
 
@@ -150,6 +152,7 @@ class SyncResponse:
     split_specs: Tuple[SplitSpec, ...] = ()
 
     def wire_size(self) -> int:
+        """On-wire size: header, status byte, id lists, split specs."""
         size = self.header.wire_size() + 1
         size += 4 * (len(self.requested_ids) + len(self.offered_ids))
         size += sum(spec.wire_size() for spec in self.split_specs)
@@ -164,6 +167,7 @@ class ContentRequest:
     ids: Tuple[int, ...]
 
     def wire_size(self) -> int:
+        """On-wire size: request id plus 4 bytes per requested id."""
         return 8 + 4 * len(self.ids)
 
 
@@ -175,6 +179,7 @@ class ContentResponse:
     txs: Tuple  # tuple of Transaction
 
     def wire_size(self) -> int:
+        """On-wire size: request id plus the transaction payloads."""
         return 8 + sum(tx.wire_size() for tx in self.txs)
 
 
@@ -194,4 +199,5 @@ class BlockAnnounce:
     bundle_ids: Tuple[Tuple[int, ...], ...]
 
     def wire_size(self) -> int:
+        """On-wire size: block + header + 2 bytes per bundle boundary."""
         return self.block.wire_size() + self.header.wire_size() + 2 * len(self.bundle_ids)

@@ -1,5 +1,18 @@
-"""Measurement utilities shared by experiments and benchmarks."""
+"""Measurement utilities shared by experiments and benchmarks.
 
+Submodules: :mod:`~repro.metrics.stats` (histograms, percentiles),
+:mod:`~repro.metrics.trackers` (latency/event trackers),
+:mod:`~repro.metrics.caches` (hit/miss counters for the hot-path caches),
+:mod:`~repro.metrics.probes` (time-series probes) and
+:mod:`~repro.metrics.reporting` (tables + JSON export).
+"""
+
+from repro.metrics.caches import (
+    CacheStats,
+    cache_stats,
+    register_cache,
+    reset_cache_stats,
+)
 from repro.metrics.stats import (
     Histogram,
     describe,
@@ -10,11 +23,15 @@ from repro.metrics.stats import (
 from repro.metrics.trackers import EventCounter, LatencyTracker
 
 __all__ = [
+    "CacheStats",
     "EventCounter",
     "Histogram",
     "LatencyTracker",
+    "cache_stats",
     "describe",
     "mean",
     "percentile",
+    "register_cache",
+    "reset_cache_stats",
     "stddev",
 ]

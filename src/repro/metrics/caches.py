@@ -1,0 +1,112 @@
+"""Process-wide cache instrumentation (hit/miss/eviction counters).
+
+Hot-path caches (the sketch syndrome cache, the decode memoisation layer,
+field-table sharing) register a :class:`CacheStats` here so experiments and
+benchmarks can report cache effectiveness without importing the subsystem
+internals.  Counters are plain ints mutated inline by the owning cache --
+the instrumented paths are the tightest loops in the repository, so the
+accounting must stay allocation-free.
+
+>>> stats = register_cache("doctest.example")
+>>> stats.hits += 2
+>>> stats.misses += 1
+>>> round(stats.hit_rate, 2)
+0.67
+>>> cache_stats()["doctest.example"]["hits"]
+2
+>>> unregister_cache("doctest.example")
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+
+class CacheStats:
+    """Mutable counters for one named cache.
+
+    ``size_probe`` (optional) reports the cache's current entry count when a
+    snapshot is taken; it is a callable so the registry never holds a strong
+    reference to the cached data itself.
+    """
+
+    __slots__ = ("name", "hits", "misses", "evictions", "size_probe")
+
+    def __init__(self, name: str, size_probe: Optional[Callable[[], int]] = None):
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.size_probe = size_probe
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never used)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters (the cache contents are not touched)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def snapshot(self) -> Dict[str, float]:
+        """A JSON-friendly dict of the current counter values."""
+        out: Dict[str, float] = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+        if self.size_probe is not None:
+            out["size"] = self.size_probe()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheStats({self.name!r}, hits={self.hits}, "
+            f"misses={self.misses}, evictions={self.evictions})"
+        )
+
+
+_REGISTRY: Dict[str, CacheStats] = {}
+
+
+def register_cache(
+    name: str, size_probe: Optional[Callable[[], int]] = None
+) -> CacheStats:
+    """Create (or fetch) the stats object for a named cache.
+
+    Idempotent: re-registering returns the existing object so module
+    reloads and repeated imports keep a single counter set; a provided
+    ``size_probe`` replaces the previous one.
+    """
+    stats = _REGISTRY.get(name)
+    if stats is None:
+        stats = CacheStats(name, size_probe)
+        _REGISTRY[name] = stats
+    elif size_probe is not None:
+        stats.size_probe = size_probe
+    return stats
+
+
+def unregister_cache(name: str) -> None:
+    """Drop a cache's stats from the registry (used by tests/doctests)."""
+    _REGISTRY.pop(name, None)
+
+
+def cache_stats() -> Dict[str, Dict[str, float]]:
+    """Snapshot every registered cache: ``{name: {hits, misses, ...}}``."""
+    return {name: stats.snapshot() for name, stats in sorted(_REGISTRY.items())}
+
+
+def reset_cache_stats() -> None:
+    """Zero the counters of every registered cache."""
+    for stats in _REGISTRY.values():
+        stats.reset()

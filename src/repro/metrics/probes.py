@@ -45,6 +45,7 @@ class ConvergenceProbe:
         self._event = self.loop.call_later(self.period_s, self._tick)
 
     def stop(self) -> None:
+        """Stop sampling and cancel the pending tick."""
         self._running = False
         if self._event is not None:
             self._event.cancel()

@@ -150,6 +150,7 @@ class ChaosCounters:
     corrupted: int = 0
 
     def as_dict(self) -> Dict[str, int]:
+        """Counter snapshot as a plain dict (for assertions and reports)."""
         return dataclasses.asdict(self)
 
 

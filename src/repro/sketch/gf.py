@@ -4,16 +4,62 @@ Elements are Python ints in ``[0, 2^m)`` interpreted as polynomials over
 GF(2).  Multiplication is carry-less multiplication followed by reduction
 modulo an irreducible polynomial.  For small fields (m <= 16) log/exp tables
 make multiplication two lookups; for larger fields a nibble-windowed
-carry-less multiply keeps pure-Python cost low.
+carry-less multiply plus a precomputed per-field reduction table keeps
+pure-Python cost low.
 
 Polynomials over GF(2^m) are represented as lists of coefficients in
 ascending degree order, normalised so the last coefficient is nonzero (the
 zero polynomial is the empty list).
+
+Fast path
+---------
+
+When numpy is importable the field objects additionally expose *batched*
+kernels -- :meth:`GF2m.mul_batch`, :meth:`GF2m.sqr_batch`,
+:meth:`GF2m.inv_batch`, :meth:`GF2m.dot` and :meth:`GF2m.find_roots_scan` --
+that vectorise the log/exp table lookups (m <= 16) or the tower-subfield
+lookups (m == 32) over whole arrays.  Every batched kernel has a
+pure-Python scalar fallback producing bit-identical results, selected
+automatically when numpy is absent or the fast path is disabled via
+:func:`set_fast_path`.  ``tests/sketch/test_fastpath.py`` property-tests the
+equality; ``python -m repro bench`` measures the speedup.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # The fast path is optional; the library must work without numpy.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via set_fast_path(False)
+    _np = None
+
+_FAST_ENABLED = True
+
+
+def have_numpy() -> bool:
+    """Whether numpy is importable in this process."""
+    return _np is not None
+
+
+def fast_path_active() -> bool:
+    """Whether the vectorised kernels are currently in use."""
+    return _np is not None and _FAST_ENABLED
+
+
+def set_fast_path(enabled: bool) -> bool:
+    """Enable/disable the numpy kernels; returns the previous setting.
+
+    Disabling forces every batched API through the pure-Python scalar
+    fallback -- used by the equality property tests and by the benchmark
+    runner to measure the scalar baseline.  A no-op (always "disabled")
+    when numpy is not installed.
+    """
+    global _FAST_ENABLED
+    previous = _FAST_ENABLED
+    _FAST_ENABLED = bool(enabled)
+    return previous
+
 
 # Irreducible polynomials (without the leading x^m term) for supported m,
 # matching the moduli used by libminisketch where applicable.
@@ -26,6 +72,13 @@ IRREDUCIBLE_POLY = {
     48: 0x2D,       # x^48 + x^5 + x^3 + x^2 + 1
     64: 0x1B,       # x^64 + x^4 + x^3 + x + 1
 }
+
+# Log/exp tables shared across every GF2m instance of the same (m, modulus):
+# the tables are a pure function of the field, and partitioned sketches can
+# construct many field objects (see default_field for instance sharing too).
+_TABLE_CACHE: Dict[
+    Tuple[int, int], Tuple[Optional[List[int]], Optional[List[int]]]
+] = {}
 
 
 class GF2m:
@@ -52,6 +105,10 @@ class GF2m:
         self._low_modulus = modulus
         self._log: Optional[List[int]] = None
         self._exp: Optional[List[int]] = None
+        self._np_exp = None
+        self._np_log = None
+        self._np_chien_ii = None
+        self._reduce_table: Optional[List[int]] = None
         if m <= 16:
             self._build_tables()
 
@@ -63,8 +120,15 @@ class GF2m:
         ``x`` itself need not be primitive for every irreducible modulus
         (it is not for the GF(2^16) modulus used here), so candidate
         generators are tried until one whose powers enumerate the whole
-        multiplicative group is found.
+        multiplicative group is found.  Tables are shared process-wide per
+        (m, modulus) through a module cache: building the GF(2^16) tables
+        walks 65,535 multiplications, far too costly to repeat per sketch.
         """
+        cache_key = (self.m, self.modulus)
+        cached = _TABLE_CACHE.get(cache_key)
+        if cached is not None:
+            self._exp, self._log = cached
+            return
         size = self.order
         for generator in range(2, 64):
             exp = [0] * (2 * size)
@@ -83,9 +147,20 @@ class GF2m:
                     exp[i] = exp[i - (size - 1)]
                 self._exp = exp
                 self._log = log
+                _TABLE_CACHE[cache_key] = (exp, log)
                 return
         self._log = None
         self._exp = None
+        _TABLE_CACHE[cache_key] = (None, None)
+
+    def _np_tables(self):
+        """Numpy mirrors of the log/exp tables, or None off the fast path."""
+        if self._log is None or not fast_path_active():
+            return None
+        if self._np_exp is None:
+            self._np_exp = _np.asarray(self._exp, dtype=_np.int64)
+            self._np_log = _np.asarray(self._log, dtype=_np.int64)
+        return self._np_exp, self._np_log
 
     # ------------------------------------------------------------- arithmetic
 
@@ -94,6 +169,7 @@ class GF2m:
         return a ^ b
 
     def _mul_notable(self, a: int, b: int) -> int:
+        """Reference shift-and-add multiply (used to bootstrap the tables)."""
         result = 0
         while a:
             if a & 1:
@@ -102,15 +178,49 @@ class GF2m:
             b <<= 1
         return self._reduce(result)
 
+    def _build_reduce_table(self) -> List[int]:
+        """Precompute ``x^(m+k) mod f`` for k in [0, m): one XOR per high bit.
+
+        Carry-less products are at most 2m-1 bits wide, so reduction only
+        ever needs these m precomputed rows; the shift-and-test loop of the
+        naive reduction is replaced by table lookups (the "multiplication
+        window" structure for fields too large for log/exp tables).
+        """
+        table = []
+        row = self._low_modulus  # x^m == low part of the modulus
+        for _ in range(self.m):
+            table.append(row)
+            row <<= 1
+            if row & self.order:
+                row ^= self.modulus  # clears the x^m bit
+        self._reduce_table = table
+        return table
+
     def _reduce(self, value: int) -> int:
         """Reduce an up-to-(2m-1)-bit carry-less product modulo the field."""
-        m = self.m
-        modulus = self.modulus
-        top = value.bit_length()
-        while top > m:
-            value ^= modulus << (top - m - 1)
+        if value < self.order:
+            return value
+        table = self._reduce_table
+        if table is None:
+            table = self._build_reduce_table()
+        out = value & self.mask
+        high = value >> self.m
+        if high >> self.m:
+            # Defensive: wider than any carry-less product; fall back to
+            # the shift-based reduction for the out-of-contract top bits.
             top = value.bit_length()
-        return value
+            while top > 2 * self.m - 1:
+                value ^= self.modulus << (top - self.m - 1)
+                top = value.bit_length()
+            out = value & self.mask
+            high = value >> self.m
+        k = 0
+        while high:
+            if high & 1:
+                out ^= table[k]
+            high >>= 1
+            k += 1
+        return out
 
     def mul(self, a: int, b: int) -> int:
         """Field multiplication."""
@@ -167,6 +277,160 @@ class GF2m:
             return self._exp[(self.order - 1) - self._log[a]]
         # a^(2^m - 2) by square-and-multiply.
         return self.pow(a, self.order - 2)
+
+    # ------------------------------------------------------ batched kernels
+
+    def mul_batch(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """Elementwise field products of two equal-length sequences.
+
+        Vectorised through the log/exp tables on the fast path; otherwise a
+        scalar loop with identical results.
+        """
+        tables = self._np_tables()
+        if tables is None:
+            mul = self.mul
+            return [mul(x, y) for x, y in zip(a, b)]
+        exp, log = tables
+        av = _np.asarray(a, dtype=_np.int64)
+        bv = _np.asarray(b, dtype=_np.int64)
+        out = _np.zeros(av.shape, dtype=_np.int64)
+        nz = (av != 0) & (bv != 0)
+        out[nz] = exp[log[av[nz]] + log[bv[nz]]]
+        return out.tolist()
+
+    def mul_scalar_batch(self, scalar: int, vec: Sequence[int]) -> List[int]:
+        """``[scalar * v for v in vec]`` with the per-scalar setup hoisted.
+
+        For table fields this broadcasts a single log lookup; for larger
+        fields the nibble window table of ``scalar`` is built once and
+        reused across the whole vector instead of once per product.
+        """
+        if scalar == 0 or not vec:
+            return [0] * len(vec)
+        tables = self._np_tables()
+        if tables is not None:
+            exp, log = tables
+            vv = _np.asarray(vec, dtype=_np.int64)
+            out = _np.zeros(vv.shape, dtype=_np.int64)
+            nz = vv != 0
+            out[nz] = exp[log[vv[nz]] + int(log[scalar])]
+            return out.tolist()
+        if self._log is not None:
+            exp_t, log_t = self._exp, self._log
+            log_s = log_t[scalar]
+            return [exp_t[log_t[v] + log_s] if v else 0 for v in vec]
+        # Large field: hoist the window table of the *scalar* operand.
+        window = [0, scalar]
+        for i in range(1, 8):
+            window.append(window[i] << 1)
+            window.append((window[i] << 1) ^ scalar)
+        reduce = self._reduce
+        out = []
+        for v in vec:
+            result = 0
+            shift = 0
+            while v:
+                nib = v & 0xF
+                if nib:
+                    result ^= window[nib] << shift
+                v >>= 4
+                shift += 4
+            out.append(reduce(result))
+        return out
+
+    def sqr_batch(self, a: Sequence[int]) -> List[int]:
+        """Elementwise field squares of a sequence."""
+        tables = self._np_tables()
+        if tables is None:
+            sqr = self.sqr
+            return [sqr(x) for x in a]
+        exp, log = tables
+        av = _np.asarray(a, dtype=_np.int64)
+        out = _np.zeros(av.shape, dtype=_np.int64)
+        nz = av != 0
+        out[nz] = exp[2 * log[av[nz]]]
+        return out.tolist()
+
+    def inv_batch(self, a: Sequence[int]) -> List[int]:
+        """Elementwise inverses; raises ZeroDivisionError on any zero."""
+        tables = self._np_tables()
+        if tables is None:
+            inv = self.inv
+            return [inv(x) for x in a]
+        exp, log = tables
+        av = _np.asarray(a, dtype=_np.int64)
+        if bool((av == 0).any()):
+            raise ZeroDivisionError("inverse of 0 in GF(2^m)")
+        return exp[(self.order - 1) - log[av]].tolist()
+
+    def dot(self, a: Sequence[int], b: Sequence[int]) -> int:
+        """XOR-accumulated inner product ``a[0]b[0] ^ a[1]b[1] ^ ...``.
+
+        The Berlekamp--Massey discrepancy is exactly this shape; on the
+        fast path the products and the XOR reduction both vectorise.
+        """
+        tables = self._np_tables()
+        if tables is None:
+            mul = self.mul
+            acc = 0
+            for x, y in zip(a, b):
+                if x and y:
+                    acc ^= mul(x, y)
+            return acc
+        exp, log = tables
+        av = _np.asarray(a, dtype=_np.int64)
+        bv = _np.asarray(b, dtype=_np.int64)
+        out = _np.zeros(av.shape, dtype=_np.int64)
+        nz = (av != 0) & (bv != 0)
+        out[nz] = exp[log[av[nz]] + log[bv[nz]]]
+        return int(_np.bitwise_xor.reduce(out)) if out.size else 0
+
+    def find_roots_scan(self, poly: Sequence[int]) -> Optional[List[int]]:
+        """All distinct roots of ``poly`` by a vectorised full-field scan.
+
+        A Chien search in the log domain: the polynomial is evaluated at
+        every nonzero element ``g^i`` simultaneously, one table-gather pass
+        per nonzero coefficient.  The exponent array ``(j * i) mod (q-1)``
+        is maintained incrementally (add, conditional subtract), so the
+        inner loop is four branch-free numpy passes and never needs
+        zero-masking.  Only available for table fields (m <= 16) on the
+        fast path; returns None otherwise so callers fall back to
+        Berlekamp-trace splitting.  Repeated roots are reported once, which
+        matches the decoder's distinct-roots contract.
+        """
+        tables = self._np_tables()
+        if tables is None:
+            return None
+        exp, log = tables
+        p = self.poly_trim(list(poly))
+        if not p or len(p) == 1:
+            return []
+        n = self.order - 1  # multiplicative group order
+        if self._np_chien_ii is None:
+            # int32 workspace: indices stay below 2n < 2^31 and the halved
+            # memory traffic is worth ~1.5x on the 64-pass inner loop.
+            self._np_chien_ii = (
+                _np.arange(n, dtype=_np.int32),
+                _np.asarray(self._exp, dtype=_np.int32),
+            )
+        ii, exp32 = self._np_chien_ii
+        # acc[i] accumulates poly(g^i); jpow[i] tracks (j*i) mod n.
+        acc = _np.full(n, p[0], dtype=_np.int32)
+        jpow = _np.zeros(n, dtype=_np.int32)
+        idx = _np.empty(n, dtype=_np.int32)
+        for coeff in p[1:]:
+            jpow += ii
+            _np.subtract(jpow, n, out=jpow, where=jpow >= n)
+            if coeff:
+                # exp is double-length (periodic), so log[c] + jpow needs
+                # no second reduction.
+                _np.add(jpow, int(log[coeff]), out=idx)
+                acc ^= exp32[idx]
+        root_exponents = _np.nonzero(acc == 0)[0]
+        roots = exp[root_exponents].tolist()
+        if p[0] == 0:
+            roots.insert(0, 0)
+        return roots
 
     def trace(self, a: int) -> int:
         """Absolute trace down to GF(2): sum of the m Frobenius conjugates."""
@@ -260,12 +524,22 @@ class GF2m:
         dq = len(q) - 1
         inv_lead = self.inv(q[-1])
         mul = self.mul
+        # Each elimination step multiplies every coefficient of q by the
+        # same factor; batch that scalar-vector product when q is big
+        # enough for the hoisted-window/vector kernels to pay off.
+        batch = len(q) >= 16
         while len(rem) - 1 >= dq and rem:
             shift = len(rem) - 1 - dq
             factor = mul(rem[-1], inv_lead)
-            for i, coeff in enumerate(q):
-                if coeff:
-                    rem[i + shift] ^= mul(factor, coeff)
+            if batch:
+                products = self.mul_scalar_batch(factor, q)
+                for i, prod in enumerate(products):
+                    if prod:
+                        rem[i + shift] ^= prod
+            else:
+                for i, coeff in enumerate(q):
+                    if coeff:
+                        rem[i + shift] ^= mul(factor, coeff)
             self.poly_trim(rem)
         return rem
 
@@ -331,6 +605,10 @@ class GF2Tower32(GF2m):
     polynomial-basis GF(2^32); sketches must be built and decoded with the
     same representation on both sides, which holds process-wide via
     :func:`default_field`.
+
+    On the fast path the batched kernels vectorise the subfield table
+    lookups over numpy arrays, so ``mul_batch``/``sqr_batch``/``inv_batch``
+    process whole syndrome vectors per call.
     """
 
     def __init__(self):
@@ -345,6 +623,10 @@ class GF2Tower32(GF2m):
             raise RuntimeError("GF(2^16) tables unavailable")
         self._log = None
         self._exp = None
+        self._np_exp = None
+        self._np_log = None
+        self._np_chien_ii = None
+        self._reduce_table = None
         # y^2 + y + c must be irreducible over GF(2^16), which holds exactly
         # when the GF(2)-trace of c is 1; pick the smallest such c.
         self.QUAD_C = next(
@@ -360,7 +642,17 @@ class GF2Tower32(GF2m):
             term = self.sub.sqr(term)
         return total
 
+    def _np_sub_tables(self):
+        """Numpy mirrors of the *subfield* tables, or None off the fast path."""
+        if not fast_path_active():
+            return None
+        if self._np_exp is None:
+            self._np_exp = _np.asarray(self.sub._exp, dtype=_np.int64)
+            self._np_log = _np.asarray(self.sub._log, dtype=_np.int64)
+        return self._np_exp, self._np_log
+
     def mul(self, a: int, b: int) -> int:
+        """Tower-field multiplication (Karatsuba over GF(2^16))."""
         if a == 0 or b == 0:
             return 0
         sub = self.sub
@@ -376,6 +668,7 @@ class GF2Tower32(GF2m):
         return (hi << 16) | lo
 
     def sqr(self, a: int) -> int:
+        """Tower-field squaring (two subfield squares + one constant mul)."""
         if a == 0:
             return 0
         sub = self.sub
@@ -386,6 +679,7 @@ class GF2Tower32(GF2m):
         return (s1 << 16) | lo
 
     def inv(self, a: int) -> int:
+        """Tower-field inverse via the GF(2^16) norm; raises on zero."""
         if a == 0:
             raise ZeroDivisionError("inverse of 0 in GF(2^32)")
         sub = self.sub
@@ -398,16 +692,130 @@ class GF2Tower32(GF2m):
         lo = sub.mul(a0 ^ a1, inv_norm)
         return (hi << 16) | lo
 
+    # ------------------------------------------------------ batched kernels
 
-_FIELDS: Dict[int, GF2m] = {}
+    @staticmethod
+    def _tab_mul(exp, log, x, y):
+        """Vectorised subfield product of two int64 arrays (zeros handled)."""
+        out = _np.zeros(x.shape, dtype=_np.int64)
+        nz = (x != 0) & (y != 0)
+        out[nz] = exp[log[x[nz]] + log[y[nz]]]
+        return out
+
+    def mul_batch(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """Elementwise tower products of two equal-length sequences."""
+        tables = self._np_sub_tables()
+        if tables is None:
+            mul = self.mul
+            return [mul(x, y) for x, y in zip(a, b)]
+        exp, log = tables
+        av = _np.asarray(a, dtype=_np.int64)
+        bv = _np.asarray(b, dtype=_np.int64)
+        a1, a0 = av >> 16, av & 0xFFFF
+        b1, b0 = bv >> 16, bv & 0xFFFF
+        m1 = self._tab_mul(exp, log, a1, b1)
+        m0 = self._tab_mul(exp, log, a0, b0)
+        mx = self._tab_mul(exp, log, a1 ^ a0, b1 ^ b0)
+        hi = mx ^ m0
+        log_c = int(log[self.QUAD_C])
+        cm = _np.zeros(m1.shape, dtype=_np.int64)
+        nz = m1 != 0
+        cm[nz] = exp[log[m1[nz]] + log_c]
+        lo = m0 ^ cm
+        return ((hi << 16) | lo).tolist()
+
+    def mul_scalar_batch(self, scalar: int, vec: Sequence[int]) -> List[int]:
+        """``[scalar * v for v in vec]`` over the tower field."""
+        if scalar == 0 or not vec:
+            return [0] * len(vec)
+        if self._np_sub_tables() is None:
+            mul = self.mul
+            return [mul(scalar, v) for v in vec]
+        return self.mul_batch([scalar] * len(vec), vec)
+
+    def sqr_batch(self, a: Sequence[int]) -> List[int]:
+        """Elementwise tower squares of a sequence."""
+        tables = self._np_sub_tables()
+        if tables is None:
+            sqr = self.sqr
+            return [sqr(x) for x in a]
+        exp, log = tables
+        av = _np.asarray(a, dtype=_np.int64)
+        a1, a0 = av >> 16, av & 0xFFFF
+        s1 = _np.zeros(a1.shape, dtype=_np.int64)
+        nz1 = a1 != 0
+        s1[nz1] = exp[2 * log[a1[nz1]]]
+        s0 = _np.zeros(a0.shape, dtype=_np.int64)
+        nz0 = a0 != 0
+        s0[nz0] = exp[2 * log[a0[nz0]]]
+        log_c = int(log[self.QUAD_C])
+        cm = _np.zeros(s1.shape, dtype=_np.int64)
+        nz = s1 != 0
+        cm[nz] = exp[log[s1[nz]] + log_c]
+        return ((s1 << 16) | (s0 ^ cm)).tolist()
+
+    def inv_batch(self, a: Sequence[int]) -> List[int]:
+        """Elementwise tower inverses; raises ZeroDivisionError on any zero."""
+        tables = self._np_sub_tables()
+        if tables is None:
+            inv = self.inv
+            return [inv(x) for x in a]
+        exp, log = tables
+        av = _np.asarray(a, dtype=_np.int64)
+        if bool((av == 0).any()):
+            raise ZeroDivisionError("inverse of 0 in GF(2^32)")
+        a1, a0 = av >> 16, av & 0xFFFF
+        sq0 = _np.zeros(a0.shape, dtype=_np.int64)
+        nz0 = a0 != 0
+        sq0[nz0] = exp[2 * log[a0[nz0]]]
+        sq1 = _np.zeros(a1.shape, dtype=_np.int64)
+        nz1 = a1 != 0
+        sq1[nz1] = exp[2 * log[a1[nz1]]]
+        log_c = int(log[self.QUAD_C])
+        c_sq1 = _np.zeros(sq1.shape, dtype=_np.int64)
+        nz = sq1 != 0
+        c_sq1[nz] = exp[log[sq1[nz]] + log_c]
+        norm = sq0 ^ self._tab_mul(exp, log, a0, a1) ^ c_sq1
+        inv_norm = exp[(0xFFFF) - log[norm]]  # norm != 0 for nonzero input
+        hi = self._tab_mul(exp, log, a1, inv_norm)
+        lo = self._tab_mul(exp, log, a0 ^ a1, inv_norm)
+        return ((hi << 16) | lo).tolist()
+
+    def dot(self, a: Sequence[int], b: Sequence[int]) -> int:
+        """XOR-accumulated inner product over the tower field."""
+        if self._np_sub_tables() is None:
+            mul = self.mul
+            acc = 0
+            for x, y in zip(a, b):
+                if x and y:
+                    acc ^= mul(x, y)
+            return acc
+        products = self.mul_batch(a, b)
+        acc = 0
+        for p in products:
+            acc ^= p
+        return acc
 
 
-def default_field(m: int = 32) -> GF2m:
+# Field instances shared per (m, modulus); see default_field.
+_FIELDS: Dict[Tuple[int, Optional[int]], GF2m] = {}
+
+
+def default_field(m: int = 32, modulus: Optional[int] = None) -> GF2m:
     """Shared per-process field instances (table construction is amortised).
 
-    ``m == 32`` returns the fast tower-field implementation; other sizes use
-    the generic polynomial-basis field.
+    ``m == 32`` with the default modulus returns the fast tower-field
+    implementation; other sizes use the generic polynomial-basis field.
+    Explicit-modulus fields are cached too, keyed by ``(m, modulus)``, so
+    partitioned sketches over a custom modulus share one table set instead
+    of rebuilding log/exp tables per instance.
     """
-    if m not in _FIELDS:
-        _FIELDS[m] = GF2Tower32() if m == 32 else GF2m(m)
-    return _FIELDS[m]
+    key = (m, modulus)
+    field = _FIELDS.get(key)
+    if field is None:
+        if modulus is None:
+            field = GF2Tower32() if m == 32 else GF2m(m)
+        else:
+            field = GF2m(m, modulus)
+        _FIELDS[key] = field
+    return field

@@ -4,52 +4,209 @@ A sketch of capacity ``t`` over GF(2^m) stores the odd power sums
 ``s_k = sum(x^k for x in S)`` for ``k = 1, 3, ..., 2t-1``.  Sketches are
 linear: XOR-ing two sketches yields the sketch of the symmetric difference
 of the underlying sets (paper section 4.2).  Decoding reconstructs up to
-``t`` elements via Berlekamp--Massey and Berlekamp-trace root finding, the
-same pipeline as a BCH decoder and as libminisketch.
+``t`` elements via Berlekamp--Massey and root finding, the same pipeline as
+a BCH decoder and as libminisketch.
+
+Performance layers (docs/architecture.md has the full map):
+
+* **Syndrome cache** -- per-``(element, m)`` odd power sums are computed
+  once, *incrementally extended* when a larger capacity is requested, and
+  LRU-bounded; every node in a simulation re-uses one vector per
+  transaction id across all rounds (:class:`_SyndromeCache`).
+* **Batched kernels** -- bulk ``add_all`` computes syndromes for all new
+  elements with one vectorised sweep per power; the Berlekamp--Massey
+  discrepancy and the root search run through the numpy fast path of
+  :mod:`repro.sketch.gf` when available (pure-Python fallbacks decode
+  bit-identically).
+* **Decode memoisation** -- an LRU keyed by syndrome content, with
+  hit/miss/eviction counters exported via :func:`repro.metrics.cache_stats`.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.sketch.gf import GF2m, default_field
+from repro.metrics.caches import register_cache
+from repro.sketch.gf import GF2m, default_field, fast_path_active
 
 
 class SketchDecodeError(ValueError):
     """Decoding failed: the set difference exceeds the sketch capacity."""
 
 
-@lru_cache(maxsize=262144)
+# ---------------------------------------------------------------------------
+# Syndrome cache: element -> odd power sums, shared process-wide.
+# ---------------------------------------------------------------------------
+
+
+class _SyndromeCache:
+    """Incremental, LRU-bounded cache of per-element syndrome vectors.
+
+    Keyed by ``(element, m)`` -- *not* by capacity: one growable power list
+    serves every capacity, and asking for a larger sketch merely extends
+    the stored list from its last entry (each extension step is one field
+    multiplication by ``element^2``).  ``views`` memoises the per-capacity
+    tuples so repeated lookups return the identical object (cheap, and it
+    keeps ``sketch_syndromes`` referentially stable for callers).
+    """
+
+    def __init__(self, max_entries: int = 262144):
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple[int, int], dict]" = OrderedDict()
+        self.stats = register_cache(
+            "sketch.syndromes", size_probe=lambda: len(self._entries)
+        )
+
+    def clear(self) -> None:
+        """Drop every cached vector (counters are preserved)."""
+        self._entries.clear()
+
+    @staticmethod
+    def _validate(element: int, field: GF2m, m: int) -> None:
+        if element == 0 or element > field.mask:
+            raise ValueError(f"element {element} out of range for GF(2^{m})")
+
+    def _fresh_entry(self, element: int, field: GF2m) -> dict:
+        return {"x2": field.sqr(element), "powers": [element], "views": {}}
+
+    def _insert(self, key: Tuple[int, int], entry: dict) -> None:
+        if len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = entry
+
+    def get(self, element: int, m: int, capacity: int) -> Tuple[int, ...]:
+        """The first ``capacity`` odd power sums of ``element`` over GF(2^m)."""
+        key = (element, m)
+        entry = self._entries.get(key)
+        field = default_field(m)
+        if entry is None:
+            self.stats.misses += 1
+            self._validate(element, field, m)
+            entry = self._fresh_entry(element, field)
+            self._insert(key, entry)
+        else:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+        powers = entry["powers"]
+        if len(powers) < capacity:
+            mul = field.mul
+            x2 = entry["x2"]
+            current = powers[-1]
+            while len(powers) < capacity:
+                current = mul(current, x2)
+                powers.append(current)
+        view = entry["views"].get(capacity)
+        if view is None:
+            view = tuple(powers[:capacity])
+            entry["views"][capacity] = view
+        return view
+
+    def get_many(
+        self, elements: Sequence[int], m: int, capacity: int
+    ) -> List[Tuple[int, ...]]:
+        """Syndrome vectors for many elements, batch-computing the misses.
+
+        Cached entries are served individually; all missing (or too-short)
+        entries are computed together with one vectorised field sweep per
+        power -- ``capacity - 1`` batched multiplications for the whole
+        group instead of per element.
+        """
+        field = default_field(m)
+        out: List[Optional[Tuple[int, ...]]] = [None] * len(elements)
+        missing: List[int] = []
+        missing_at: List[int] = []
+        for idx, element in enumerate(elements):
+            key = (element, m)
+            entry = self._entries.get(key)
+            if entry is not None and len(entry["powers"]) >= capacity:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                view = entry["views"].get(capacity)
+                if view is None:
+                    view = tuple(entry["powers"][:capacity])
+                    entry["views"][capacity] = view
+                out[idx] = view
+            else:
+                self._validate(element, field, m)
+                missing.append(element)
+                missing_at.append(idx)
+        if not missing:
+            return out  # type: ignore[return-value]
+        if not fast_path_active() or len(missing) < 4:
+            for element, idx in zip(missing, missing_at):
+                out[idx] = self.get(element, m, capacity)
+            return out  # type: ignore[return-value]
+        # Column-wise batch: columns[k][j] = missing[j] ^ (2k+1).
+        x2 = field.sqr_batch(missing)
+        current = list(missing)
+        columns = [current]
+        for _ in range(capacity - 1):
+            current = field.mul_batch(current, x2)
+            columns.append(current)
+        for j, (element, idx) in enumerate(zip(missing, missing_at)):
+            powers = [columns[k][j] for k in range(capacity)]
+            key = (element, m)
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                entry = {"x2": x2[j], "powers": powers, "views": {}}
+                self._insert(key, entry)
+            else:
+                # Existed but was shorter than requested: count as a hit
+                # (the prefix was reused conceptually) and replace.
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                entry["powers"] = powers
+                entry["views"] = {}
+            view = tuple(powers)
+            entry["views"][capacity] = view
+            out[idx] = view
+        return out  # type: ignore[return-value]
+
+
+_SYNDROMES = _SyndromeCache()
+
+
 def sketch_syndromes(element: int, capacity: int, m: int) -> Tuple[int, ...]:
     """Odd power sums ``element^1, element^3, ..., element^(2t-1)``.
 
-    Cached process-wide: in the simulation every node adds the same
-    transaction ids, so each id's syndrome vector is computed once and
-    re-used as a cheap XOR by every node (see DESIGN.md performance notes).
+    Cached process-wide and *incrementally*: the cache is keyed by
+    ``(element, m)`` only, so a later request at a higher capacity extends
+    the stored power list instead of recomputing it, and every node in a
+    simulation re-uses each transaction id's vector as a cheap XOR (see
+    docs/architecture.md).  Repeated calls with identical arguments return
+    the identical tuple object.
+
+    >>> sketch_syndromes(3, 3, 8)
+    (3, 15, 51)
+    >>> sketch_syndromes(3, 5, 8)[:3]
+    (3, 15, 51)
     """
-    field = default_field(m)
-    if element == 0 or element > field.mask:
-        raise ValueError(f"element {element} out of range for GF(2^{m})")
-    powers = [element]
-    x_squared = field.sqr(element)
-    current = element
-    for _ in range(capacity - 1):
-        current = field.mul(current, x_squared)
-        powers.append(current)
-    return tuple(powers)
+    return _SYNDROMES.get(element, m, capacity)
 
 
-# Process-wide decode memoisation (syndromes -> frozenset | failure).
-# Bounded: cleared wholesale when full, which is simpler and almost as
-# effective as LRU for the flooding access pattern.
-_DECODE_CACHE: dict = {}
-_DECODE_CACHE_LIMIT = 200_000
+def clear_syndrome_cache() -> None:
+    """Drop all cached syndrome vectors (used by benchmarks)."""
+    _SYNDROMES.clear()
+
+
+# ---------------------------------------------------------------------------
+# Decode memoisation: syndrome content -> frozenset | failure, LRU-bounded.
+# ---------------------------------------------------------------------------
+
+_DECODE_CACHE: "OrderedDict[tuple, object]" = OrderedDict()
+_DECODE_CACHE_LIMIT = 131072
+_DECODE_STATS = register_cache(
+    "sketch.decode", size_probe=lambda: len(_DECODE_CACHE)
+)
 
 
 def _cache_store(key, value) -> None:
-    if len(_DECODE_CACHE) >= _DECODE_CACHE_LIMIT:
-        _DECODE_CACHE.clear()
+    if key not in _DECODE_CACHE and len(_DECODE_CACHE) >= _DECODE_CACHE_LIMIT:
+        _DECODE_CACHE.popitem(last=False)
+        _DECODE_STATS.evictions += 1
     _DECODE_CACHE[key] = value
 
 
@@ -85,15 +242,30 @@ class PinSketch:
 
     def add(self, element: int) -> None:
         """Toggle ``element`` in the sketched set (add == remove over GF(2))."""
-        vector = sketch_syndromes(element, self.capacity, self.m)
+        vector = _SYNDROMES.get(element, self.m, self.capacity)
         syndromes = self._syndromes
         for i, value in enumerate(vector):
             syndromes[i] ^= value
 
     def add_all(self, elements: Iterable[int]) -> None:
-        """Toggle every element of ``elements``."""
-        for element in elements:
-            self.add(element)
+        """Toggle every element of ``elements``.
+
+        Bulk inserts batch the syndrome generation of uncached elements
+        through the vectorised field kernels (one sweep per power instead
+        of one scalar chain per element).
+        """
+        batch = list(elements)
+        if not batch:
+            return
+        if len(batch) < 4:
+            for element in batch:
+                self.add(element)
+            return
+        vectors = _SYNDROMES.get_many(batch, self.m, self.capacity)
+        syndromes = self._syndromes
+        for vector in vectors:
+            for i, value in enumerate(vector):
+                syndromes[i] ^= value
 
     def xor_syndromes(self, vector: Sequence[int]) -> None:
         """XOR a precomputed syndrome vector (at least this capacity) in."""
@@ -170,9 +342,10 @@ class PinSketch:
         capacity (detected via locator-degree and root-count checks, plus an
         optional syndrome re-verification that catches aliasing).
 
-        Results are memoised process-wide by syndrome content: in a
-        simulated network the same difference set is decoded by many node
-        pairs as a transaction floods the overlay, so cache hits are
+        Results are memoised process-wide by syndrome content in an LRU
+        (hit/miss counters: ``repro.metrics.cache_stats()["sketch.decode"]``):
+        in a simulated network the same difference set is decoded by many
+        node pairs as a transaction floods the overlay, so cache hits are
         frequent and exact (same syndromes => same set).
         """
         if self.is_empty():
@@ -180,9 +353,12 @@ class PinSketch:
         cache_key = (self.m, tuple(self._syndromes))
         cached = _DECODE_CACHE.get(cache_key)
         if cached is not None:
+            _DECODE_STATS.hits += 1
+            _DECODE_CACHE.move_to_end(cache_key)
             if isinstance(cached, SketchDecodeError):
                 raise cached
             return set(cached)
+        _DECODE_STATS.misses += 1
         try:
             result = self._decode_uncached(verify)
         except SketchDecodeError as exc:
@@ -204,7 +380,7 @@ class PinSketch:
             raise SketchDecodeError(
                 f"locator of degree {degree} has only {len(roots)} roots"
             )
-        elements = {self.field.inv(root) for root in roots}
+        elements = set(self.field.inv_batch(roots))
         if verify and not self._verify(elements):
             raise SketchDecodeError("recovered elements fail syndrome check")
         return elements
@@ -230,7 +406,10 @@ def _berlekamp_massey(syndromes: Sequence[int], field: GF2m) -> List[int]:
     """Minimal LFSR (error locator) for the syndrome sequence.
 
     Returns the connection polynomial ``C`` with ``C[0] == 1``; its degree is
-    the number of difference elements when decoding succeeds.
+    the number of difference elements when decoding succeeds.  The per-step
+    discrepancy is an inner product of the current connection polynomial
+    with a syndrome window; it runs through :meth:`GF2m.dot`, which the
+    fast path vectorises over the whole window.
     """
     current: List[int] = [1]
     previous: List[int] = [1]
@@ -239,16 +418,26 @@ def _berlekamp_massey(syndromes: Sequence[int], field: GF2m) -> List[int]:
     prev_discrepancy = 1
     mul = field.mul
     inv = field.inv
+    dot = field.dot
     for n, s_n in enumerate(syndromes):
-        discrepancy = s_n
-        for i in range(1, length + 1):
-            if i < len(current) and current[i]:
-                discrepancy ^= mul(current[i], syndromes[n - i])
+        window = min(length, len(current) - 1)
+        if window <= 0:
+            discrepancy = s_n
+        elif window < 8:
+            discrepancy = s_n
+            for i in range(1, window + 1):
+                if current[i]:
+                    discrepancy ^= mul(current[i], syndromes[n - i])
+        else:
+            # dot(current[1..w], syndromes[n-1], ..., syndromes[n-w])
+            discrepancy = s_n ^ dot(
+                current[1 : window + 1], syndromes[n - window : n][::-1]
+            )
         if discrepancy == 0:
             shift += 1
             continue
         coefficient = mul(discrepancy, inv(prev_discrepancy))
-        update = [0] * shift + [mul(coefficient, c) for c in previous]
+        update = [0] * shift + field.mul_scalar_batch(coefficient, previous)
         if 2 * length <= n:
             saved = list(current)
             current = _xor_poly(current, update)
@@ -273,27 +462,33 @@ def _xor_poly(a: Sequence[int], b: Sequence[int]) -> List[int]:
 
 
 def _find_roots(poly: Sequence[int], field: GF2m) -> List[int]:
-    """Roots of ``poly`` in GF(2^m) via Berlekamp trace splitting.
+    """Roots of ``poly`` in GF(2^m), distinct-roots contract.
 
-    Optimised for the decode hot path:
+    Two strategies:
 
-    * degree-1 and degree-2 factors are solved in closed form (the
-      quadratic through the field's Artin-Schreier solver), which closes
-      most of the recursion tree without polynomial work;
-    * Tr(beta * x) is computed once modulo the *top-level* polynomial per
-      beta and cached; deeper recursion levels reduce the cached trace
-      modulo their factor (one ``poly_mod``) instead of re-running the m
-      modular squarings;
-    * polynomials that resist several split attempts (which only happens
-      for invalid locators from an over-capacity sketch) are rejected with
-      a Frobenius linearity check rather than exhausting every beta.
+    * **Full-field scan** (fast path, m <= 16): evaluate the polynomial at
+      every field element in one vectorised Horner sweep
+      (:meth:`GF2m.find_roots_scan`) -- a Chien search across the whole
+      field, degree-many numpy passes.
+    * **Berlekamp trace splitting** (fallback, and all m > 16): recursively
+      split with gcd(poly, Tr(beta x)), with degree-1/2 factors solved in
+      closed form and a Frobenius linearity check rejecting invalid
+      locators early.  Tr(beta x) is computed once modulo the *top-level*
+      polynomial per beta and cached; deeper recursion levels reduce the
+      cached trace modulo their factor instead of re-running the m modular
+      squarings.
 
-    Returns fewer roots than the degree when the polynomial does not split
-    into distinct linear factors; callers treat that as a decode failure.
+    Both return fewer roots than the degree when the polynomial does not
+    split into distinct linear factors; callers treat that as a decode
+    failure, so the strategies are observationally identical.
     """
     monic = field.poly_monic(list(poly))
     if len(monic) <= 1:
         return []
+    if len(monic) > 3:  # closed forms beat a full scan for degree <= 2
+        scanned = field.find_roots_scan(monic)
+        if scanned is not None:
+            return scanned
     roots: List[int] = []
     trace_cache: dict = {}
     try:

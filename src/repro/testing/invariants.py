@@ -49,6 +49,7 @@ class InvariantMonitor:
         self._samples = 0
 
     def start(self) -> "InvariantMonitor":
+        """Schedule the first periodic check; returns self for chaining."""
         self.sim.loop.call_later(self.period_s, self._tick)
         return self
 

@@ -1,0 +1,118 @@
+"""Tests for the ``repro.bench`` subsystem: runner, suites, CLI, schema."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    SUITES,
+    BenchResult,
+    bench_case,
+    bench_payload,
+    run_suites,
+    write_bench_json,
+)
+from repro.cli import main
+
+REQUIRED_TOP_KEYS = {
+    "schema", "suite", "created_unix", "python", "numpy", "fast_path",
+    "params", "results", "derived",
+}
+REQUIRED_RESULT_KEYS = {
+    "name", "params", "iterations", "repeats", "ops_per_call",
+    "seconds_per_op", "ops_per_second",
+}
+
+
+def _check_schema(payload, suite):
+    assert REQUIRED_TOP_KEYS <= set(payload)
+    assert payload["schema"] == SCHEMA == "repro.bench/1"
+    assert payload["suite"] == suite
+    assert isinstance(payload["created_unix"], int)
+    assert isinstance(payload["fast_path"], bool)
+    assert payload["results"], "a suite must time at least one case"
+    for entry in payload["results"]:
+        assert REQUIRED_RESULT_KEYS <= set(entry)
+        assert entry["iterations"] >= 1
+        assert entry["seconds_per_op"] >= 0.0
+    for value in payload["derived"].values():
+        assert isinstance(value, float)
+
+
+def test_bench_case_counts_iterations():
+    calls = []
+    result = bench_case("noop", lambda: calls.append(1),
+                        iterations=5, repeats=2, ops_per_call=3)
+    # 1 warm-up + 2 repeats x 5 iterations
+    assert len(calls) == 11
+    assert result.iterations == 5
+    assert result.repeats == 2
+    assert result.ops_per_call == 3
+    assert result.ops_per_second == pytest.approx(
+        1.0 / result.seconds_per_op
+    )
+
+
+def test_bench_case_calibrates_iterations():
+    result = bench_case("noop", lambda: None, repeats=1,
+                        target_seconds=0.001)
+    assert result.iterations >= 1
+
+
+def test_bench_payload_schema():
+    results = [BenchResult(name="x", iterations=1, seconds_per_op=0.5)]
+    payload = bench_payload("sketch", results, derived={"speedup_x": 2.0},
+                            params={"quick": True})
+    _check_schema(payload, "sketch")
+    assert payload["derived"]["speedup_x"] == 2.0
+    assert payload["params"]["quick"] is True
+
+
+def test_write_bench_json_round_trips(tmp_path):
+    path = tmp_path / "BENCH_sketch.json"
+    results = [BenchResult(name="x", iterations=2, seconds_per_op=0.25)]
+    payload = write_bench_json(str(path), "sketch", results)
+    on_disk = json.loads(path.read_text())
+    assert on_disk == payload
+    _check_schema(on_disk, "sketch")
+
+
+def test_run_suites_rejects_unknown_suite(tmp_path):
+    with pytest.raises(ValueError, match="unknown bench suite"):
+        run_suites(["nope"], out_dir=str(tmp_path))
+
+
+def test_suite_registry_is_complete():
+    assert set(SUITES) == {"sketch", "reconcile"}
+
+
+@pytest.mark.slow
+def test_bench_cli_quick_emits_valid_files(tmp_path, capsys):
+    code = main(["bench", "--quick", "--out-dir", str(tmp_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "suite: sketch" in out
+    assert "suite: reconcile" in out
+    for suite in ("sketch", "reconcile"):
+        path = tmp_path / f"BENCH_{suite}.json"
+        assert path.exists()
+        _check_schema(json.loads(path.read_text()), suite)
+
+
+@pytest.mark.slow
+def test_sketch_suite_derives_decode_speedup(tmp_path):
+    payloads = run_suites(["sketch"], quick=True, out_dir=str(tmp_path))
+    derived = payloads["sketch"]["derived"]
+    from repro.sketch.gf import have_numpy
+
+    if have_numpy():
+        assert any(k.startswith("speedup_decode_") for k in derived)
+
+
+@pytest.mark.slow
+def test_reconcile_suite_reports_wire_stats(tmp_path):
+    payloads = run_suites(["reconcile"], quick=True, out_dir=str(tmp_path))
+    derived = payloads["reconcile"]["derived"]
+    assert derived["bytes_transferred"] > 0
+    assert derived["decode_failures"] >= 0

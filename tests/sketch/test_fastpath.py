@@ -1,0 +1,226 @@
+"""Fast-path (numpy) vs pure-Python fallback equivalence.
+
+The vectorised kernels in :mod:`repro.sketch.gf` and the batched syndrome
+generation in :mod:`repro.sketch.pinsketch` must be *bit-identical* to the
+scalar reference implementations -- these are property tests over random
+inputs plus a few targeted regressions (field-table sharing, cache
+identity, decode determinism).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.gf import (
+    GF2m,
+    GF2Tower32,
+    default_field,
+    fast_path_active,
+    have_numpy,
+    set_fast_path,
+)
+from repro.sketch.pinsketch import (
+    PinSketch,
+    clear_decode_cache,
+    clear_syndrome_cache,
+    sketch_syndromes,
+)
+
+needs_numpy = pytest.mark.skipif(not have_numpy(), reason="numpy unavailable")
+
+
+@pytest.fixture
+def fallback():
+    """Force the pure-Python path for the duration of a test."""
+    previous = set_fast_path(False)
+    clear_syndrome_cache()
+    clear_decode_cache()
+    yield
+    set_fast_path(previous)
+    clear_syndrome_cache()
+    clear_decode_cache()
+
+
+def _random_batch(rnd, m, n, nonzero=False):
+    low = 1 if nonzero else 0
+    return [rnd.randrange(low, 1 << m) for _ in range(n)]
+
+
+# ------------------------------------------------------------ kernel parity
+
+
+@needs_numpy
+@pytest.mark.parametrize("m", [8, 12, 16, 24, 32, 48, 64])
+def test_batch_kernels_match_scalar(m):
+    field = default_field(m)
+    rnd = random.Random(1000 + m)
+    xs = _random_batch(rnd, m, 257)
+    ys = _random_batch(rnd, m, 257)
+    nz = _random_batch(rnd, m, 257, nonzero=True)
+
+    assert field.mul_batch(xs, ys) == [field.mul(x, y) for x, y in zip(xs, ys)]
+    assert field.sqr_batch(xs) == [field.sqr(x) for x in xs]
+    assert field.inv_batch(nz) == [field.inv(x) for x in nz]
+    scalar = nz[0]
+    assert field.mul_scalar_batch(scalar, xs) == [
+        field.mul(scalar, x) for x in xs
+    ]
+    expected_dot = 0
+    for x, y in zip(xs, ys):
+        expected_dot ^= field.mul(x, y)
+    assert field.dot(xs, ys) == expected_dot
+
+
+@needs_numpy
+@pytest.mark.parametrize("m", [16, 32])
+def test_batch_kernels_identical_with_fast_path_off(m, fallback):
+    field = default_field(m)
+    rnd = random.Random(2000 + m)
+    xs = _random_batch(rnd, m, 64)
+    ys = _random_batch(rnd, m, 64)
+    slow = field.mul_batch(xs, ys)
+    set_fast_path(True)
+    assert field.mul_batch(xs, ys) == slow
+
+
+@needs_numpy
+def test_inv_batch_rejects_zero():
+    field = default_field(16)
+    with pytest.raises(ZeroDivisionError):
+        field.inv_batch([1, 0, 3])
+
+
+@needs_numpy
+@given(st.lists(st.integers(min_value=0, max_value=2 ** 16 - 1),
+                min_size=0, max_size=40))
+@settings(max_examples=100)
+def test_chien_scan_matches_trace_splitting(coeffs):
+    """find_roots_scan must agree with brute-force evaluation."""
+    field = default_field(16)
+    while coeffs and coeffs[-1] == 0:
+        coeffs = coeffs[:-1]
+    scanned = field.find_roots_scan(coeffs)
+    if scanned is None or len(coeffs) < 2:
+        return
+    # Cross-check every reported root, and spot-check non-roots.
+    for root in scanned:
+        acc = 0
+        for coefficient in reversed(coeffs):
+            acc = field.mul(acc, root) ^ coefficient
+        assert acc == 0
+    assert len(scanned) == len(set(scanned))
+    assert len(scanned) <= len(coeffs) - 1
+
+
+# ------------------------------------------------------- decode equivalence
+
+
+@needs_numpy
+@given(st.sets(st.integers(min_value=1, max_value=2 ** 16 - 1),
+               min_size=0, max_size=24))
+@settings(max_examples=50, deadline=None)
+def test_decode_identical_fast_vs_fallback(elements):
+    """Whole-pipeline property: decode output is byte-identical."""
+    previous = set_fast_path(True)
+    try:
+        sketch = PinSketch(32, 16)
+        sketch.add_all(elements)
+        clear_decode_cache()
+        fast = sketch.decode()
+        set_fast_path(False)
+        clear_decode_cache()
+        slow = sketch.decode()
+    finally:
+        set_fast_path(previous)
+    assert fast == slow == set(elements)
+
+
+@needs_numpy
+@pytest.mark.parametrize("m,capacity,difference", [(16, 64, 48), (32, 16, 12)])
+def test_reconcile_identical_fast_vs_fallback(m, capacity, difference):
+    rnd = random.Random(99)
+    items = rnd.sample(range(1, (1 << m) - 1), difference)
+    a = PinSketch(capacity, m)
+    b = PinSketch(capacity, m)
+    a.add_all(items[: difference // 3])
+    b.add_all(items[difference // 3:])
+    combined = a ^ b
+
+    previous = set_fast_path(True)
+    try:
+        clear_decode_cache()
+        fast = combined.decode()
+        set_fast_path(False)
+        clear_decode_cache()
+        slow = combined.decode()
+    finally:
+        set_fast_path(previous)
+    assert fast == slow == set(items)
+
+
+def test_fallback_works_without_numpy_path(fallback):
+    """The pure-Python pipeline stands alone (numpy never touched)."""
+    assert not fast_path_active()
+    sketch = PinSketch(8, 16)
+    sketch.add_all([5, 9, 1000])
+    assert sketch.decode() == {5, 9, 1000}
+
+
+# -------------------------------------------------- field/table cache reuse
+
+
+@pytest.mark.parametrize("m", [8, 16])
+def test_explicit_modulus_field_is_cached(m):
+    from repro.sketch.gf import IRREDUCIBLE_POLY
+
+    modulus = IRREDUCIBLE_POLY[m]
+    f1 = default_field(m, modulus)
+    f2 = default_field(m, modulus)
+    assert f1 is f2
+
+
+def test_explicit_and_default_modulus_share_tables():
+    """Two sketches over the same (m, modulus) share one table build."""
+    from repro.sketch.gf import IRREDUCIBLE_POLY
+
+    modulus = IRREDUCIBLE_POLY[16]
+    f1 = GF2m(16, modulus)
+    f2 = GF2m(16, modulus)
+    assert f1._exp is f2._exp
+    assert f1._log is f2._log
+
+    s1 = PinSketch(8, 16, field=default_field(16, modulus))
+    s2 = PinSketch(8, 16, field=default_field(16, modulus))
+    assert s1.field is s2.field
+
+
+def test_tower_subfield_tables_shared():
+    t1 = GF2Tower32()
+    t2 = GF2Tower32()
+    assert t1.sub._exp is t2.sub._exp
+
+
+# ------------------------------------------------------ syndrome-cache laws
+
+
+def test_syndrome_views_are_identity_stable_across_capacities():
+    v_small = sketch_syndromes(7, 4, 16)
+    v_large = sketch_syndromes(7, 9, 16)
+    assert v_large[:4] == v_small
+    assert sketch_syndromes(7, 9, 16) is v_large
+
+
+@needs_numpy
+def test_batched_syndromes_match_scalar(fallback):
+    elements = random.Random(7).sample(range(1, 2 ** 16 - 1), 40)
+    scalar = [sketch_syndromes(e, 16, 16) for e in elements]
+    set_fast_path(True)
+    clear_syndrome_cache()
+    sketch_a = PinSketch(16, 16)
+    sketch_a.add_all(elements)
+    sketch_b = PinSketch(16, 16)
+    for syndromes in scalar:
+        sketch_b.xor_syndromes(syndromes)
+    assert sketch_a._syndromes == sketch_b._syndromes

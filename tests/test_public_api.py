@@ -24,6 +24,10 @@ PUBLIC_MODULES = [
     "repro.attacks",
     "repro.workload",
     "repro.metrics",
+    "repro.metrics.caches",
+    "repro.bench",
+    "repro.bench.runner",
+    "repro.bench.suites",
     "repro.experiments",
     "repro.experiments.fig6_detection",
     "repro.experiments.fig7_mempool_latency",

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Markdown link checker for the repository's documentation.
+
+Checks every ``[text](target)`` link in the given markdown files:
+
+* relative targets must resolve to an existing file or directory
+  (fragments like ``protocol.md#sync`` are checked against the file part);
+* ``http(s)``/``mailto``/``doi`` targets are skipped (no network in CI);
+* bare in-page anchors (``#section``) are skipped.
+
+Exit status 1 with one line per broken link, 0 when clean.
+
+Usage::
+
+    python tools/check_links.py README.md DESIGN.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) -- but not images' inner ']' and not footnote refs.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "doi:")
+
+
+def iter_links(text: str):
+    """Yield (line_number, target) for every markdown link, skipping
+    fenced code blocks (their brackets are code, not links)."""
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path) -> list:
+    errors = []
+    for lineno, target in iter_links(path.read_text(encoding="utf-8")):
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    all_errors = []
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            all_errors.append(f"{name}: file not found")
+            continue
+        all_errors.extend(check_file(path))
+    for error in all_errors:
+        print(error)
+    if not all_errors:
+        print(f"ok: {len(argv)} file(s), no broken links")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
