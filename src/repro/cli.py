@@ -10,8 +10,13 @@ Examples::
     python -m repro fig10 --workloads 60 180 420
     python -m repro memory --workloads 120 600
     python -m repro cpu   --difference 128
+    python -m repro fig6  --nodes 20 --fractions 0.2 --trace t.jsonl
+    python -m repro report t.jsonl
 
-Every subcommand accepts ``--json PATH`` to dump the raw result object.
+Every experiment subcommand accepts ``--json PATH`` to dump the raw
+result object and ``--trace PATH`` to write a deterministic
+``repro.trace/1`` JSONL trace (``--trace-chrome PATH`` adds a
+Perfetto-loadable Chrome trace); ``report`` summarises a trace.
 """
 
 from __future__ import annotations
@@ -28,6 +33,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--json", type=str, default=None,
                         help="write the raw result object to this file")
+    parser.add_argument("--trace", type=str, default=None, metavar="PATH",
+                        help="write a repro.trace/1 JSONL trace of the run")
+    parser.add_argument("--trace-chrome", type=str, default=None,
+                        metavar="PATH",
+                        help="also write a Chrome/Perfetto trace-event JSON")
+    parser.add_argument("--trace-sample", type=int, default=1, metavar="N",
+                        help="keep every Nth per-message network trace event"
+                             " (per message type; other records are never"
+                             " sampled)")
+    parser.add_argument("--trace-snapshot-s", type=float, default=1.0,
+                        help="metrics snapshot interval in simulated seconds")
 
 
 def _emit(result, args, label: str) -> None:
@@ -65,6 +81,18 @@ def cmd_run(args) -> int:
         ("exposures", sum(len(n.acct.exposed) for n in sim.nodes.values())),
     ]
     print(format_table(("metric", "value"), rows))
+    result = {
+        "nodes": args.nodes,
+        "transactions": count,
+        "mean_mempool_latency_s": statistics.mean(latencies) if latencies else None,
+        "chain_height": sim.nodes[0].ledger.height if args.blocks else None,
+        "overhead_bytes": sim.total_overhead_bytes(),
+        "exposures": sum(len(n.acct.exposed) for n in sim.nodes.values()),
+        "drop_breakdown": sim.drop_breakdown(),
+        "wire_violation_totals": sim.wire_violation_totals(),
+        "metrics": sim.metrics_snapshot(),
+    }
+    _emit(result, args, "run")
     return 0
 
 
@@ -212,6 +240,81 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    from repro.obs.report import (
+        cache_rows,
+        event_counts,
+        fault_detection_rows,
+        final_metrics,
+        load_trace,
+        span_rows,
+    )
+    from repro.obs.schema import validate_trace_file
+
+    errors = validate_trace_file(args.trace)
+    if errors:
+        for error in errors[:20]:
+            print(error, file=sys.stderr)
+        print(f"[{len(errors)} schema error(s) in {args.trace}]",
+              file=sys.stderr)
+        return 1
+    meta, records = load_trace(args.trace)
+    print(f"trace: {args.trace}  (schema repro.trace/1,"
+          f" {len(records)} records)")
+    if meta:
+        print(format_table(
+            ("meta", "value"), sorted((k, v) for k, v in meta.items())
+        ))
+    print()
+
+    headers = ("span", "node", "count", "total_s", "mean_s", "max_s")
+    aggregate = span_rows(records, per_node=False)
+    if aggregate:
+        print("span durations (all nodes)")
+        print(format_table(headers, aggregate))
+        print()
+    per_node = span_rows(records, per_node=True)
+    if per_node:
+        shown = per_node[: args.limit]
+        print(f"span durations per node"
+              f" ({len(shown)} of {len(per_node)} rows)")
+        print(format_table(headers, shown))
+        print()
+
+    counts = event_counts(records)
+    if counts:
+        print("events")
+        print(format_table(("event", "count"), counts))
+        print()
+
+    faults = fault_detection_rows(records)
+    if faults:
+        print("fault -> detection latency")
+        print(format_table(
+            ("node", "fault", "fault_t", "suspicion_t", "exposure_t",
+             "latency_s"),
+            [(n, k, t, _s(s), _s(e), _s(l)) for n, k, t, s, e, l in faults],
+        ))
+        print()
+
+    metrics = final_metrics(records)
+    if metrics is not None:
+        caches = cache_rows(metrics)
+        if caches:
+            print(f"cache effectiveness (t={metrics['t']:.2f}s)")
+            print(format_table(("cache counter", "value"), caches))
+            print()
+        counters = [
+            (name, value)
+            for name, value in sorted(metrics.get("counters", {}).items())
+            if not name.startswith("caches.")
+        ]
+        if counters:
+            print(f"final counters (t={metrics['t']:.2f}s)")
+            print(format_table(("counter", "value"), counters))
+    return 0
+
+
 def _s(value: Optional[float]) -> str:
     return "n/a" if value is None else f"{value:.2f}"
 
@@ -287,6 +390,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_cpu)
 
     p = sub.add_parser(
+        "report",
+        help="validate and summarise a repro.trace/1 JSONL trace"
+             " (span durations, fault->detection latency, cache stats)",
+    )
+    p.add_argument("trace", type=str, help="path to a --trace JSONL file")
+    p.add_argument("--limit", type=int, default=40,
+                   help="max per-node span rows to print")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
         "bench",
         help="hot-path micro-benchmarks; writes BENCH_*.json "
              "(schema repro.bench/1)",
@@ -304,9 +417,40 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    When ``--trace`` (or ``--trace-chrome``) is given, a real tracer is
+    installed for the duration of the command and the collected records
+    are exported afterwards; otherwise the process-wide no-op tracer stays
+    in place and tracing costs one attribute check per instrumented site.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    chrome_path = getattr(args, "trace_chrome", None)
+    if args.command == "report" or (not trace_path and not chrome_path):
+        return args.func(args)
+
+    from repro import obs
+
+    tracer = obs.Tracer(
+        sample_every=args.trace_sample,
+        snapshot_interval_s=args.trace_snapshot_s,
+    )
+    meta = {
+        "command": args.command,
+        "seed": getattr(args, "seed", None),
+        "sample_every": args.trace_sample,
+        "snapshot_interval_s": args.trace_snapshot_s,
+    }
+    with obs.use_tracer(tracer):
+        code = args.func(args)
+    if trace_path:
+        written = obs.export_jsonl(tracer, trace_path, meta)
+        print(f"[trace written to {trace_path} ({written} records)]")
+    if chrome_path:
+        written = obs.export_chrome(tracer, chrome_path, meta)
+        print(f"[chrome trace written to {chrome_path} ({written} events)]")
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.chain.block import Block
 from repro.core.commitment import BundleInfo
 from repro.core.config import LOConfig
@@ -74,6 +75,31 @@ class BlockInspector:
         the inspector (it is exchanged during reconciliation); ``settled``
         is the set of ids already in the chain *before* this block.
         """
+        result = self._inspect(block, bundles, prev_hash, settled,
+                               content_known, is_invalid, fee_of)
+        _t = obs.TRACER
+        if _t.enabled:
+            reg = _t.registry
+            if result.conclusive:
+                reg.counter("inspection.conclusive").inc()
+                if result.violations:
+                    reg.counter("inspection.violations").inc(
+                        len(result.violations)
+                    )
+            else:
+                reg.counter("inspection.inconclusive").inc()
+        return result
+
+    def _inspect(
+        self,
+        block: Block,
+        bundles: Sequence[BundleInfo],
+        prev_hash: bytes,
+        settled: Set[int],
+        content_known: Callable[[int], bool],
+        is_invalid: Callable[[int], bool],
+        fee_of: Callable[[int], Optional[int]],
+    ) -> InspectionResult:
         if block.commit_seq > len(bundles):
             # The inspector has not yet learned the pinned commitment
             # prefix; it cannot judge the block either way.

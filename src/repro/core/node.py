@@ -25,6 +25,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.bloomclock import BloomClock
 from repro.chain.block import Block
 from repro.chain.ledger import Ledger
@@ -93,10 +94,11 @@ class _Session:
     """Requester-side state for one outstanding sync request."""
 
     __slots__ = ("peer", "spec", "capacity", "depth", "pushed_counts",
-                 "timer", "acct_id")
+                 "timer", "acct_id", "span")
 
     def __init__(self, peer: int, spec: SplitSpec, capacity: int, depth: int,
-                 pushed_counts: Dict[int, int], timer: Event, acct_id: int):
+                 pushed_counts: Dict[int, int], timer: Event, acct_id: int,
+                 span=None):
         self.peer = peer
         self.spec = spec
         self.capacity = capacity
@@ -104,6 +106,7 @@ class _Session:
         self.pushed_counts = pushed_counts  # cell -> own item count in spec
         self.timer = timer
         self.acct_id = acct_id
+        self.span = span  # open "reconcile.round" trace span, if tracing
 
 
 class LONode(Endpoint):
@@ -240,8 +243,11 @@ class LONode(Endpoint):
         next sync tick drive reconvergence instead of stale timeouts.
         """
         self.stop()
+        _t = obs.TRACER
         for session in self._sessions.values():
             session.timer.cancel()
+            if _t.enabled:
+                _t.end_span(session.span, self.now, outcome="restart")
         self._sessions.clear()
         for timer in self._content_timers.values():
             timer.cancel()
@@ -299,6 +305,11 @@ class LONode(Endpoint):
         prev = self._digest_chain[-1] if self._digest_chain else GENESIS_DIGEST
         self._digest_chain.append(chain_digest(prev, bundle.digest))
         self._header_dirty = True
+        _t = obs.TRACER
+        if _t.enabled:
+            _t.event("commit.append", t=self.now, node_id=self.node_id,
+                     seq=bundle.index, ids=len(bundle.ids),
+                     source=source_peer)
         return bundle
 
     # -------------------------------------------------------- NeighborsSync
@@ -424,8 +435,19 @@ class LONode(Endpoint):
             spec=spec,
             sketch=sketch,
         )
+        _t = obs.TRACER
+        span = None
+        if _t.enabled:
+            # One span per Alg. 1 round: opened at sync_req, closed when the
+            # response settles (ok / split / timeout / abort).
+            span = _t.begin_span(
+                "reconcile.round", self.now, node_id=self.node_id,
+                peer=peer, cells=len(spec.cells), bit_level=spec.bit_level,
+                capacity=capacity, depth=depth, retries=0,
+            )
         self._sessions[request_obj.request_id] = _Session(
-            peer, spec, capacity, depth, pushed, timer, request_obj.request_id
+            peer, spec, capacity, depth, pushed, timer,
+            request_obj.request_id, span,
         )
         self._send(peer, "lo/sync_req", request, request.wire_size())
 
@@ -494,17 +516,32 @@ class LONode(Endpoint):
 
     # ------------------------------------------------- ingress hardening
 
+    def _peer_id_of(self, key: PublicKey) -> Optional[int]:
+        """Directory lookup that tolerates unregistered keys (clients)."""
+        try:
+            return self.directory.id_of(key)
+        except KeyError:
+            return None
+
     def _record_wire_violation(self, message: Message, reason: str) -> None:
         """Count, attribute and react to one malformed inbound message."""
         sender = message.sender
         if self.counter is not None:
             self.counter.increment("wire_violations", node=self.node_id)
+        _t = obs.TRACER
+        if _t.enabled:
+            _t.event("wire.violation", t=self.now, node_id=self.node_id,
+                     sender=sender, msg_type=message.msg_type,
+                     reason=reason[:120])
         self._salvage_evidence(message.payload)
         newly_quarantined = self.quarantine.record_violation(sender, self.now)
         if not newly_quarantined:
             return
         if self.counter is not None:
             self.counter.increment("peers_quarantined", node=self.node_id)
+        if _t.enabled:
+            _t.event("wire.quarantine", t=self.now, node_id=self.node_id,
+                     peer=sender)
         try:
             self.directory.key_of(sender)
         except KeyError:
@@ -605,6 +642,12 @@ class LONode(Endpoint):
             and request.spec.bit_level == 0
             and cell_gap > capacity
         ):
+            _t = obs.TRACER
+            if _t.enabled:
+                _t.event("reconcile.decode", t=self.now, node_id=self.node_id,
+                         requester=sender, capacity=capacity,
+                         cells=len(request.spec.cells), outcome="overload",
+                         cell_gap=cell_gap)
             response = SyncResponse(
                 request_id=request.request_id,
                 header=self.header(),
@@ -617,9 +660,14 @@ class LONode(Endpoint):
         if self.counter is not None:
             self.counter.increment("reconciliations", node=self.node_id)
         diff = decode_difference(local, request.sketch)
+        _t = obs.TRACER
         if diff is None:
             if self.counter is not None:
                 self.counter.increment("reconciliation_failures", node=self.node_id)
+            if _t.enabled:
+                _t.event("reconcile.decode", t=self.now, node_id=self.node_id,
+                         requester=sender, capacity=capacity,
+                         cells=len(request.spec.cells), outcome="fail")
             response = SyncResponse(
                 request_id=request.request_id,
                 header=self.header(),
@@ -630,6 +678,11 @@ class LONode(Endpoint):
             return
         new_ids = sorted(i for i in diff if i not in self.log)
         offered = tuple(sorted(i for i in diff if i in self.log))
+        if _t.enabled:
+            _t.event("reconcile.decode", t=self.now, node_id=self.node_id,
+                     requester=sender, capacity=capacity,
+                     cells=len(request.spec.cells), outcome="ok",
+                     diff=len(diff), new=len(new_ids), offered=len(offered))
         if new_ids:
             # Alg. 1 lines 21-23: commit to every previously unknown id, in
             # a fresh bundle ordered after everything already committed.
@@ -662,13 +715,19 @@ class LONode(Endpoint):
         session.timer.cancel()
         self._observe_remote_header(response.header)
         peer_key = self.directory.key_of(session.peer)
+        _t = obs.TRACER
         if self.acct.is_exposed(peer_key):
             self._sessions.pop(response.request_id, None)
             self.acct.close_request(session.acct_id)
+            if _t.enabled:
+                _t.end_span(session.span, self.now, outcome="peer_exposed")
             return
         if response.status == "split":
             self._sessions.pop(response.request_id, None)
             self.acct.close_request(session.acct_id)
+            if _t.enabled:
+                _t.end_span(session.span, self.now, outcome="split",
+                            subspecs=len(response.split_specs))
             if session.depth >= self.config.partition_max_depth:
                 return
             for sub_spec in response.split_specs:
@@ -689,6 +748,11 @@ class LONode(Endpoint):
             pass  # responded: no longer suspected (temporal accuracy)
         # Commit to what the responder offered (ids we lacked).
         fresh = sorted(i for i in response.offered_ids if i not in self.log)
+        if _t.enabled:
+            _t.end_span(session.span, self.now, outcome="ok",
+                        offered=len(response.offered_ids),
+                        requested=len(response.requested_ids),
+                        committed=len(fresh))
         if fresh:
             self._commit_bundle(fresh, source_peer=session.peer)
             if self.mempool_tracker is not None:
@@ -738,6 +802,10 @@ class LONode(Endpoint):
             request_obj.request_id, peer, tuple(ids),
         )
         self._content_timers[request_obj.request_id] = timer
+        _t = obs.TRACER
+        if _t.enabled:
+            _t.event("content.request", t=self.now, node_id=self.node_id,
+                     peer=peer, ids=len(ids))
         self._send(peer, "lo/content_req", request, request.wire_size())
 
     def _handle_content_request(self, message: Message) -> None:
@@ -762,6 +830,10 @@ class LONode(Endpoint):
             self.acct.close_request(response.request_id)
             sender_key = self.directory.key_of(message.sender)
             self.acct.clear_suspicion(sender_key)
+        _t = obs.TRACER
+        if _t.enabled:
+            _t.event("content.recv", t=self.now, node_id=self.node_id,
+                     peer=message.sender, txs=len(response.txs))
         for tx in response.txs:
             self._ingest_content(tx)
         if self._pending_inspections:
@@ -784,11 +856,16 @@ class LONode(Endpoint):
     def _on_sync_timeout(self, request_id: int) -> None:
         session = self._sessions.get(request_id)
         action = self.acct.on_timeout(request_id, self.now)
+        _t = obs.TRACER
         if action is None:
             if session is not None:
                 self._sessions.pop(request_id, None)
+                if _t.enabled:
+                    _t.end_span(session.span, self.now, outcome="stale")
             return
         if action == "resend" and session is not None:
+            if _t.enabled and session.span is not None:
+                session.span.attrs["retries"] += 1
             sketch = sketch_for_spec(self.log, session.spec, session.capacity)
             request = SyncRequest(
                 request_id=request_id,
@@ -804,6 +881,8 @@ class LONode(Endpoint):
             return
         if action == "suspect" and session is not None:
             self._sessions.pop(request_id, None)
+            if _t.enabled:
+                _t.end_span(session.span, self.now, outcome="timeout")
             self._raise_suspicion(session.peer, "sync", ())
 
     def _on_content_timeout(
@@ -842,6 +921,11 @@ class LONode(Endpoint):
         )
         if self.counter is not None and not self.acct.is_suspected(peer_key):
             self.counter.increment("suspicions_raised", node=self.node_id)
+        _t = obs.TRACER
+        if _t.enabled:
+            _t.event("acct.suspicion", t=self.now, node_id=self.node_id,
+                     accused=peer, accused_key=peer_key.raw.hex()[:16],
+                     kind=kind, detail_len=len(detail))
         self.acct.adopt_suspicion(blame, self.now)
         self._gossip_suspicion(blame)
 
@@ -893,6 +977,17 @@ class LONode(Endpoint):
             newly = self.acct.adopt_suspicion(blame, self.now)
             if newly and self.counter is not None:
                 self.counter.increment("suspicions_adopted", node=self.node_id)
+            if newly:
+                _t = obs.TRACER
+                if _t.enabled:
+                    _t.event(
+                        "acct.suspicion_adopted", t=self.now,
+                        node_id=self.node_id,
+                        accused=self._peer_id_of(blame.accused),
+                        accused_key=blame.accused.raw.hex()[:16],
+                        accuser=self._peer_id_of(blame.accuser),
+                        kind=blame.kind,
+                    )
         self._gossip_suspicion(blame)
 
     def _send_commit_update(self, peer: int) -> None:
@@ -916,6 +1011,14 @@ class LONode(Endpoint):
     def _observe_remote_header(self, header: CommitmentHeader) -> None:
         evidence = self.acct.observe_header(header)
         if evidence is not None:
+            _t = obs.TRACER
+            if _t.enabled:
+                _t.event(
+                    "acct.equivocation", t=self.now, node_id=self.node_id,
+                    accused=self._peer_id_of(header.signer),
+                    accused_key=header.signer.raw.hex()[:16],
+                    seq_a=evidence.header_a.seq, seq_b=evidence.header_b.seq,
+                )
             self._broadcast_exposure(
                 ExposureBlame(accused=header.signer, equivocation=evidence)
             )
@@ -926,6 +1029,24 @@ class LONode(Endpoint):
             return
         if self.counter is not None:
             self.counter.increment("exposures_adopted", node=self.node_id)
+        _t = obs.TRACER
+        if _t.enabled:
+            if blame.equivocation is not None:
+                evidence_kind = "equivocation"
+                digest = blame.accused.raw.hex()[:16]
+            elif blame.block_violation is not None:
+                evidence_kind = (
+                    f"block:{blame.block_violation.violation.kind.name.lower()}"
+                )
+                digest = blame.block_violation.block.block_hash.hex()[:16]
+            else:  # pragma: no cover - expose() rejects evidence-free blames
+                evidence_kind, digest = "unknown", ""
+            _t.event(
+                "acct.exposure", t=self.now, node_id=self.node_id,
+                accused=self._peer_id_of(blame.accused),
+                accused_key=blame.accused.raw.hex()[:16],
+                evidence=evidence_kind, evidence_digest=digest,
+            )
         for peer in self._gossip_peers():
             self._send(peer, "lo/exposure", blame, blame.wire_size())
 
@@ -942,6 +1063,12 @@ class LONode(Endpoint):
             # proposal on a stale tip could not be finalised by any
             # consensus layer, so the slot is skipped.
             return
+        _t = obs.TRACER
+        span = None
+        if _t.enabled:
+            span = _t.begin_span("block.build", self.now,
+                                 node_id=self.node_id,
+                                 policy=self.block_policy)
         if self.block_policy == "highest_fee":
             block = self.builder.build_highest_fee(
                 self.log, self.ledger, created_at=self.now
@@ -950,6 +1077,9 @@ class LONode(Endpoint):
             block = self.builder.build(
                 self.log, self.bundles, self.ledger, created_at=self.now
             )
+        if _t.enabled:
+            _t.end_span(span, self.now, height=block.height,
+                        txs=len(block.tx_ids), commit_seq=block.commit_seq)
         header = self.header_at(block.commit_seq)
         if header is None:
             header = self.header()
@@ -1038,8 +1168,19 @@ class LONode(Endpoint):
             return
         self._observe_remote_header(announce.header)
         self._check_stale_seq(announce)
+        _t = obs.TRACER
+        span = None
+        if _t.enabled:
+            span = _t.begin_span(
+                "block.inspect", self.now, node_id=self.node_id,
+                height=block.height,
+                creator=self._peer_id_of(block.creator),
+            )
         result = self._run_inspection(announce, settled_before)
         if not result.conclusive:
+            if _t.enabled:
+                _t.end_span(span, self.now, conclusive=False,
+                            missing=len(result.missing_content))
             if result.missing_content:
                 self._pending_inspections.append(announce)
                 self._send_content_request(
@@ -1049,7 +1190,17 @@ class LONode(Endpoint):
             return
         if self.counter is not None:
             self.counter.increment("blocks_inspected", node=self.node_id)
+        if _t.enabled:
+            _t.end_span(span, self.now, conclusive=True,
+                        violations=len(result.violations))
         for violation in result.violations:
+            if _t.enabled:
+                _t.event(
+                    "inspect.violation", t=self.now, node_id=self.node_id,
+                    creator=self._peer_id_of(block.creator),
+                    kind=violation.kind.name.lower(),
+                    block_hash=block.block_hash.hex()[:16],
+                )
             evidence = BlockViolationEvidence(
                 accused=block.creator,
                 block=block,

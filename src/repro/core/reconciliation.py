@@ -107,10 +107,21 @@ def decode_difference(
     local: PinSketch, remote: PinSketch
 ) -> Optional[Set[int]]:
     """XOR-combine and decode; None signals capacity overflow (split)."""
+    from repro import obs
+
     try:
-        return (local ^ remote).decode()
+        diff = (local ^ remote).decode()
     except SketchDecodeError:
-        return None
+        diff = None
+    _t = obs.TRACER
+    if _t.enabled:
+        reg = _t.registry
+        if diff is None:
+            reg.counter("reconcile.decode_fail").inc()
+        else:
+            reg.counter("reconcile.decode_ok").inc()
+            reg.histogram("reconcile.diff_size").observe(len(diff))
+    return diff
 
 
 # --------------------------------------------------------------------------

@@ -16,6 +16,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
+from repro import obs
 from repro.chain.leader import LeaderSchedule
 from repro.core.config import LOConfig
 from repro.gossip import NeighborShuffler, PeerSampler
@@ -30,6 +31,22 @@ from repro.sim.rng import SeededRng
 from repro.workload import EthereumTraceGenerator
 
 NodeFactory = Callable[..., LONode]
+
+
+def _collect_cache_stats() -> Dict[str, float]:
+    """Flatten :func:`repro.metrics.caches.cache_stats` for the registry.
+
+    ``{"sketch.syndrome": {"hits": 3, ...}}`` becomes
+    ``{"sketch.syndrome.hits": 3, ...}`` so a metrics snapshot carries the
+    LRU effectiveness of every registered hot-path cache.
+    """
+    from repro.metrics.caches import cache_stats
+
+    flat: Dict[str, float] = {}
+    for name, counters in cache_stats().items():
+        for key, value in counters.items():
+            flat[f"{name}.{key}"] = value
+    return flat
 
 
 @dataclass
@@ -154,6 +171,51 @@ class LOSimulation:
         if self.leader_schedule is not None:
             self.leader_schedule.start()
 
+        self._runs = 0
+        self._wire_tracing()
+
+    # -------------------------------------------------------- observability
+
+    def attach_registry(self, registry) -> None:
+        """Register this simulation's metric sources on a registry.
+
+        Absorbs the network byte/drop meters, the chaos fault counters, the
+        hot-path cache statistics and the harness event counter into the
+        unified ``counters`` namespace.  Collector names are fixed, so a
+        newer simulation in the same process replaces an older one's
+        sources rather than double-reporting.
+        """
+        registry.register_collector("net", self.network.collect_metrics)
+        registry.register_collector("events", self.counter.totals)
+        registry.register_collector("caches", _collect_cache_stats)
+        if self.chaos is not None:
+            registry.register_collector(
+                "chaos", self.chaos.injector.counters.as_dict
+            )
+
+    def metrics_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """One-off unified metrics snapshot (used by ``run --json``)."""
+        registry = obs.MetricsRegistry()
+        self.attach_registry(registry)
+        return registry.snapshot()
+
+    def _wire_tracing(self) -> None:
+        """Hook the installed tracer up to this run, if tracing is on."""
+        tracer = obs.TRACER
+        if not tracer.enabled:
+            return
+        self.attach_registry(tracer.registry)
+        interval = getattr(tracer, "snapshot_interval_s", 1.0)
+
+        def snapshot_tick() -> None:
+            current = obs.TRACER
+            if not current.enabled:
+                return  # tracer detached mid-run; stop rescheduling
+            current.snapshot_metrics(self.loop.now)
+            self.loop.call_later(interval, snapshot_tick)
+
+        self.loop.call_later(interval, snapshot_tick)
+
     def _halt_node(self, node_id: int) -> None:
         node = self.nodes.get(node_id)
         if node is not None:
@@ -216,6 +278,10 @@ class LOSimulation:
                 trace_tx.size_bytes,
             )
             count += 1
+        _t = obs.TRACER
+        if _t.enabled:
+            _t.event("sim.workload", t=self.loop.now, rate_per_s=rate_per_s,
+                     duration_s=duration_s, start_at=start_at, txs=count)
         return count
 
     def _inject_one(self, origin: int, fee: int, size_bytes: int) -> None:
@@ -229,8 +295,24 @@ class LOSimulation:
     # ------------------------------------------------------------ execution
 
     def run(self, until: float) -> None:
-        """Advance simulated time."""
-        self.loop.run_until(until)
+        """Advance simulated time (traced as one ``sim.run`` phase span)."""
+        tracer = obs.TRACER
+        if not tracer.enabled:
+            self.loop.run_until(until)
+            return
+        self._runs += 1
+        span = tracer.begin_span(
+            "sim.run", self.loop.now, phase=self._runs,
+            num_nodes=self.params.num_nodes, seed=self.params.seed,
+            malicious=len(self.malicious_ids),
+        )
+        try:
+            self.loop.run_until(until)
+        finally:
+            tracer = obs.TRACER
+            if tracer.enabled:
+                tracer.snapshot_metrics(self.loop.now)
+                tracer.end_span(span, self.loop.now)
 
     # ------------------------------------------------------------- analysis
 

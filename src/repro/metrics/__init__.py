@@ -13,6 +13,8 @@ from repro.metrics.caches import (
     register_cache,
     reset_cache_stats,
 )
+from repro.metrics.probes import ConvergenceProbe
+from repro.metrics.reporting import format_table, to_jsonable, write_json
 from repro.metrics.stats import (
     Histogram,
     describe,
@@ -24,14 +26,18 @@ from repro.metrics.trackers import EventCounter, LatencyTracker
 
 __all__ = [
     "CacheStats",
+    "ConvergenceProbe",
     "EventCounter",
     "Histogram",
     "LatencyTracker",
     "cache_stats",
     "describe",
+    "format_table",
     "mean",
     "percentile",
     "register_cache",
     "reset_cache_stats",
     "stddev",
+    "to_jsonable",
+    "write_json",
 ]

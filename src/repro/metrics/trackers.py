@@ -75,6 +75,10 @@ class EventCounter:
         """Total count for a label (0 when never incremented)."""
         return self._totals.get(label, 0)
 
+    def totals(self) -> Dict[str, int]:
+        """Every label's total as a plain dict (copy)."""
+        return dict(self._totals)
+
     def per_node(self, label: str) -> Dict[int, int]:
         """Per-node counts for a label (copy)."""
         return dict(self._per_node.get(label, {}))

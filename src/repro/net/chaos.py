@@ -31,6 +31,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.net.message import Message
 from repro.net.network import Network
 from repro.sim.loop import EventLoop
@@ -163,7 +164,8 @@ class ChaosInjector:
     messages of an otherwise identical run.
     """
 
-    def __init__(self, plan: ChaosPlan, rng: Optional[random.Random] = None):
+    def __init__(self, plan: ChaosPlan, rng: Optional[random.Random] = None,
+                 clock: Optional[EventLoop] = None):
         self.plan = plan
         self.rng = rng or random.Random(plan.seed)
         # Corruption draws a variable number of values, so it gets its own
@@ -171,6 +173,21 @@ class ChaosInjector:
         # message no matter which faults fire.
         self._corrupt_rng = random.Random((plan.seed << 1) ^ 0x9E3779B9)
         self.counters = ChaosCounters()
+        # Optional event-loop handle so fault events carry simulated time
+        # in traces; without one they are stamped t=0.0 (standalone use).
+        self.clock = clock
+
+    def _trace_fault(self, kind: str, message: Message) -> None:
+        _t = obs.TRACER
+        if _t.enabled:
+            _t.event(
+                f"chaos.{kind}",
+                t=self.clock.now if self.clock is not None else 0.0,
+                node_id=message.recipient,
+                msg_type=message.msg_type,
+                sender=message.sender,
+                recipient=message.recipient,
+            )
 
     def __call__(
         self, message: Message, delay: float
@@ -185,9 +202,11 @@ class ChaosInjector:
         corrupt = rng.random() < plan.corrupt_rate
         if drop:
             self.counters.dropped += 1
+            self._trace_fault("drop", message)
             return []
         if corrupt and message.msg_type not in plan.protected_types:
             self.counters.corrupted += 1
+            self._trace_fault("corrupt", message)
             message = Message(
                 sender=message.sender,
                 recipient=message.recipient,
@@ -198,10 +217,12 @@ class ChaosInjector:
             )
         if reorder:
             self.counters.reordered += 1
+            self._trace_fault("reorder", message)
             delay += jitter
         deliveries = [(delay, message)]
         if duplicate:
             self.counters.duplicated += 1
+            self._trace_fault("duplicate", message)
             deliveries.append((delay + jitter + 1e-6, message))
         return deliveries
 
@@ -234,7 +255,7 @@ class ChaosController:
         self.plan = plan
         self.halt = halt
         self.restart = restart
-        self.injector = ChaosInjector(plan)
+        self.injector = ChaosInjector(plan, clock=loop)
         self._installed = False
 
     def install(self) -> "ChaosController":
@@ -254,11 +275,17 @@ class ChaosController:
         self._installed = False
 
     def _crash(self, node_id: int) -> None:
+        _t = obs.TRACER
+        if _t.enabled:
+            _t.event("chaos.crash", t=self.loop.now, node_id=node_id)
         self.network.crash(node_id)
         if self.halt is not None:
             self.halt(node_id)
 
     def _recover(self, node_id: int) -> None:
+        _t = obs.TRACER
+        if _t.enabled:
+            _t.event("chaos.recover", t=self.loop.now, node_id=node_id)
         self.network.recover(node_id)
         if self.restart is not None:
             self.restart(node_id)

@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.net.latency import ConstantLatencyModel, LatencyModel
 from repro.net.message import Message
 from repro.sim.loop import EventLoop
@@ -194,9 +195,18 @@ class Network:
         """
         self._fault_injector = injector
 
-    def _drop(self, reason: str) -> None:
+    def _drop(self, reason: str, message: Optional[Message] = None) -> None:
         self.dropped_messages += 1
         self.drop_reasons[reason] += 1
+        _t = obs.TRACER
+        if _t.enabled:
+            attrs = {"reason": reason}
+            if message is not None:
+                attrs["msg_type"] = message.msg_type
+                attrs["sender"] = message.sender
+                attrs["recipient"] = message.recipient
+            _t.event("net.drop", t=self.loop.now,
+                     node_id=message.recipient if message else None, **attrs)
 
     def drop_breakdown(self) -> Dict[str, int]:
         """Per-reason drop counts (copy); reasons never hit are absent."""
@@ -232,24 +242,28 @@ class Network:
         meter = self.meters.get(sender)
         if meter is not None:
             meter.record_send(message)
+        _t = obs.TRACER
+        if _t.enabled:
+            _t.message_event("net.send", self.loop.now, msg_type, sender,
+                             recipient, message.wire_bytes)
         if sender in self._crashed or recipient in self._crashed:
-            self._drop("crashed")
+            self._drop("crashed", message)
             return
         if (sender, recipient) in self._blocked_links:
-            self._drop("blocked_link")
+            self._drop("blocked_link", message)
             return
         if self._crosses_partition(sender, recipient):
-            self._drop("partition")
+            self._drop("partition", message)
             return
         for hook in self._delivery_hooks:
             if not hook(message):
-                self._drop("hook")
+                self._drop("hook", message)
                 return
         delay = self.latency_model.delay(sender, recipient)
         if self._fault_injector is not None:
             deliveries = self._fault_injector(message, delay)
             if not deliveries:
-                self._drop("chaos")
+                self._drop("chaos", message)
                 return
             for when, mutated in deliveries:
                 self.loop.call_later(when, self._deliver, mutated)
@@ -258,16 +272,21 @@ class Network:
 
     def _deliver(self, message: Message) -> None:
         if message.recipient in self._crashed:
-            self._drop("crashed")
+            self._drop("crashed", message)
             return
         endpoint = self.nodes.get(message.recipient)
         if endpoint is None:
-            self._drop("no_endpoint")
+            self._drop("no_endpoint", message)
             return
         meter = self.meters.get(message.recipient)
         if meter is not None:
             meter.record_recv(message)
         self.delivered_messages += 1
+        _t = obs.TRACER
+        if _t.enabled:
+            _t.message_event("net.deliver", self.loop.now, message.msg_type,
+                             message.sender, message.recipient,
+                             message.wire_bytes)
         endpoint.on_message(message)
 
     # ------------------------------------------------------------ statistics
@@ -287,3 +306,21 @@ class Network:
             for msg_type, count in meter.by_type.items():
                 totals[msg_type] += count
         return dict(totals)
+
+    def collect_metrics(self) -> Dict[str, int]:
+        """Flat counter dict for the unified metrics registry (``net.*``).
+
+        Absorbs the message totals, per-reason drop counters and the
+        per-type byte meters into one snapshot-friendly namespace.
+        """
+        out: Dict[str, int] = {
+            "delivered": self.delivered_messages,
+            "dropped": self.dropped_messages,
+            "bytes.overhead": self.total_overhead_bytes(),
+            "bytes.payload": self.total_payload_bytes(),
+        }
+        for reason, count in self.drop_reasons.items():
+            out[f"drop.{reason}"] = count
+        for msg_type, total in self.overhead_by_type().items():
+            out[f"bytes.type.{msg_type}"] = total
+        return out

@@ -1,0 +1,101 @@
+"""``repro.obs``: deterministic structured tracing and unified metrics.
+
+One process-wide tracer (module attribute :data:`TRACER`) defaults to a
+no-op :class:`~repro.obs.tracer.NullTracer`; installing a real
+:class:`~repro.obs.tracer.Tracer` (``set_tracer``) turns every
+instrumented layer -- reconciliation rounds, block build/inspection,
+accountability, network delivery, chaos injection, the experiment
+harness -- into a sim-clock-stamped event/span stream exportable as
+``repro.trace/1`` JSONL or Chrome trace-event JSON (Perfetto).
+
+Hot-path call sites guard on one attribute check::
+
+    from repro import obs
+    _t = obs.TRACER
+    if _t.enabled:
+        _t.event("acct.suspicion", t=now, node_id=me, accused=peer)
+
+See ``docs/observability.md`` for the span/event inventory and schema.
+"""
+
+from contextlib import contextmanager
+
+from repro.obs.export import (
+    chrome_trace,
+    export_chrome,
+    export_jsonl,
+    trace_lines,
+    write_jsonl,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.schema import validate_trace_file, validate_trace_lines
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TRACE_SCHEMA,
+    Tracer,
+)
+
+#: The process-wide tracer. Instrumented code reads ``obs.TRACER`` on each
+#: use (module attribute lookup stays current after ``set_tracer``).
+TRACER = NULL_TRACER
+
+
+def get_tracer():
+    """The currently installed tracer (the null tracer by default)."""
+    return TRACER
+
+
+def set_tracer(tracer) -> None:
+    """Install a tracer process-wide (pass ``NULL_TRACER`` to disable)."""
+    global TRACER
+    TRACER = tracer
+
+
+def clear_tracer() -> None:
+    """Restore the no-op tracer."""
+    set_tracer(NULL_TRACER)
+
+
+@contextmanager
+def use_tracer(tracer):
+    """Context manager: install ``tracer``, restore the previous one after.
+
+    >>> from repro import obs
+    >>> with obs.use_tracer(obs.Tracer()) as tr:
+    ...     obs.TRACER.event("demo", t=0.0)
+    >>> obs.TRACER.enabled, len(tr.records)
+    (False, 1)
+    """
+    previous = TRACER
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TRACER",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "chrome_trace",
+    "clear_tracer",
+    "export_chrome",
+    "export_jsonl",
+    "get_tracer",
+    "set_tracer",
+    "trace_lines",
+    "use_tracer",
+    "validate_trace_file",
+    "validate_trace_lines",
+    "write_jsonl",
+]

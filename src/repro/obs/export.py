@@ -1,0 +1,113 @@
+"""Trace exporters: ``repro.trace/1`` JSONL and Chrome trace-event JSON.
+
+JSONL is the canonical format (one JSON object per line, documented in
+``docs/observability.md`` and validated by :mod:`repro.obs.schema`).  The
+first line is a header carrying the schema tag and run metadata; every
+later line is one trace record in emission order.  Serialisation uses
+sorted keys and fixed separators, so a deterministic simulation produces
+a byte-identical file: no wall-clock timestamps, no hash randomisation.
+
+The Chrome trace-event exporter emits the subset Perfetto / ``chrome://
+tracing`` understand: complete ("X") events for spans, instant ("i")
+events for events, and counter ("C") tracks for metrics snapshots.  Sim
+seconds become microseconds (the viewers' native unit); node ids become
+thread ids so each node gets its own swimlane.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Optional
+
+from repro.obs.tracer import TRACE_SCHEMA, Tracer
+
+
+def _dumps(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def trace_lines(tracer: Tracer, meta: Optional[Dict[str, Any]] = None) -> List[str]:
+    """The JSONL export as a list of lines (header first, no newlines)."""
+    header = {"schema": TRACE_SCHEMA, "meta": meta or {}}
+    lines = [_dumps(header)]
+    lines.extend(_dumps(record) for record in tracer.records)
+    return lines
+
+
+def write_jsonl(tracer: Tracer, stream: IO[str],
+                meta: Optional[Dict[str, Any]] = None) -> int:
+    """Write the JSONL export; returns the number of records written."""
+    lines = trace_lines(tracer, meta)
+    for line in lines:
+        stream.write(line)
+        stream.write("\n")
+    return len(lines) - 1
+
+
+def export_jsonl(tracer: Tracer, path: str,
+                 meta: Optional[Dict[str, Any]] = None) -> int:
+    """Write the JSONL export to ``path``; returns the record count."""
+    with open(path, "w", encoding="utf-8", newline="\n") as stream:
+        return write_jsonl(tracer, stream, meta)
+
+
+# ---------------------------------------------------------------- chrome
+
+
+def chrome_trace(tracer: Tracer,
+                 meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """The Chrome trace-event object (``{"traceEvents": [...]}``)."""
+    trace_events: List[Dict[str, Any]] = []
+    for record in tracer.records:
+        kind = record["type"]
+        if kind == "span":
+            trace_events.append({
+                "name": record["name"],
+                "ph": "X",
+                "ts": record["t_start"] * 1e6,
+                "dur": (record["t_end"] - record["t_start"]) * 1e6,
+                "pid": 0,
+                "tid": record["node"] if record["node"] is not None else -1,
+                "args": record["attrs"],
+            })
+        elif kind == "event":
+            trace_events.append({
+                "name": record["name"],
+                "ph": "i",
+                "ts": record["t"] * 1e6,
+                "s": "t",
+                "pid": 0,
+                "tid": record["node"] if record["node"] is not None else -1,
+                "args": record["attrs"],
+            })
+        elif kind == "metrics":
+            # One counter track per snapshot; viewers chart each arg key.
+            args = {
+                name: value
+                for name, value in record.get("counters", {}).items()
+                if isinstance(value, (int, float))
+            }
+            if args:
+                trace_events.append({
+                    "name": "metrics",
+                    "ph": "C",
+                    "ts": record["t"] * 1e6,
+                    "pid": 0,
+                    "args": args,
+                })
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_SCHEMA, "meta": meta or {}},
+    }
+
+
+def export_chrome(tracer: Tracer, path: str,
+                  meta: Optional[Dict[str, Any]] = None) -> int:
+    """Write the Chrome trace JSON to ``path``; returns the event count."""
+    payload = chrome_trace(tracer, meta)
+    with open(path, "w", encoding="utf-8", newline="\n") as stream:
+        stream.write(_dumps(payload))
+        stream.write("\n")
+    return len(payload["traceEvents"])

@@ -1,0 +1,190 @@
+"""Trace-driven run reports: span-duration and fault→detection summaries.
+
+``python -m repro report TRACE`` loads a ``repro.trace/1`` JSONL file,
+validates it, and prints:
+
+* per-node span-duration tables (count / total / mean simulated seconds
+  per span name per node, plus an aggregate per span name);
+* a fault → detection latency summary that lines up injected faults
+  (chaos crashes, observed equivocations, block-policy violations) with
+  the first suspicion / exposure raised against the same node -- the
+  causal chain behind the paper's section 5.2 detection claims;
+* the final metrics snapshot (cache effectiveness, byte counters, drops).
+
+Everything here is pure data-in/rows-out so tests can drive it without a
+terminal; the CLI glue lives in :mod:`repro.cli`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Tuple
+
+# Events that mark an injected or detected fault, keyed by the attr that
+# names the node at fault.
+FAULT_EVENTS: Dict[str, str] = {
+    "chaos.crash": "_node",            # the crashed node is the event's node
+    "acct.equivocation": "accused",
+    "inspect.violation": "creator",
+}
+DETECTION_EVENTS: Dict[str, str] = {
+    "acct.suspicion": "accused",
+    "acct.exposure": "accused",
+}
+
+
+def load_trace(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read a JSONL trace; returns ``(meta, records)``.
+
+    Raises ``ValueError`` on a file that is not even line-JSON; schema
+    conformance is the validator's job (:mod:`repro.obs.schema`).
+    """
+    records: List[Dict[str, Any]] = []
+    meta: Dict[str, Any] = {}
+    with open(path, "r", encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON ({exc})")
+            if lineno == 1 and "schema" in record:
+                meta = record.get("meta", {}) or {}
+                continue
+            records.append(record)
+    return meta, records
+
+
+# ------------------------------------------------------------- span tables
+
+
+def span_rows(
+    records: List[Dict[str, Any]], per_node: bool = True
+) -> List[Tuple[Any, ...]]:
+    """Span-duration rows: ``(name, node, count, total_s, mean_s, max_s)``.
+
+    With ``per_node=False`` the node column is collapsed to ``"*"`` and
+    durations aggregate across the whole population.
+    """
+    acc: Dict[Tuple[str, Any], List[float]] = defaultdict(list)
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        node = record.get("node") if per_node else "*"
+        duration = record["t_end"] - record["t_start"]
+        acc[(record["name"], node)].append(duration)
+    rows: List[Tuple[Any, ...]] = []
+    for (name, node), durations in sorted(
+        acc.items(), key=lambda item: (item[0][0], str(item[0][1]))
+    ):
+        total = sum(durations)
+        rows.append((
+            name,
+            node,
+            len(durations),
+            round(total, 6),
+            round(total / len(durations), 6),
+            round(max(durations), 6),
+        ))
+    return rows
+
+
+def event_counts(records: List[Dict[str, Any]]) -> List[Tuple[str, int]]:
+    """``(event name, count)`` rows sorted by name."""
+    counts: Dict[str, int] = defaultdict(int)
+    for record in records:
+        if record.get("type") == "event":
+            counts[record["name"]] += 1
+    return sorted(counts.items())
+
+
+# ----------------------------------------------------- fault -> detection
+
+
+def _fault_node(record: Dict[str, Any], attr: str) -> Optional[int]:
+    if attr == "_node":
+        node = record.get("node")
+    else:
+        node = record.get("attrs", {}).get(attr)
+    return node if isinstance(node, int) else None
+
+
+def fault_detection_rows(
+    records: List[Dict[str, Any]]
+) -> List[Tuple[Any, ...]]:
+    """Rows ``(node, fault, fault_t, suspicion_t, exposure_t, latency_s)``.
+
+    For every node with at least one fault event, the earliest fault is
+    paired with the first suspicion and first exposure raised against that
+    node at or after the fault time; ``latency_s`` is the gap to whichever
+    detection came first (``None`` when the trace holds no detection).
+    """
+    first_fault: Dict[int, Tuple[float, str]] = {}
+    detections: Dict[str, Dict[int, List[float]]] = {
+        name: defaultdict(list) for name in DETECTION_EVENTS
+    }
+    for record in records:
+        if record.get("type") != "event":
+            continue
+        name = record.get("name")
+        if name in FAULT_EVENTS:
+            node = _fault_node(record, FAULT_EVENTS[name])
+            if node is not None:
+                when = record["t"]
+                if node not in first_fault or when < first_fault[node][0]:
+                    first_fault[node] = (when, name)
+        elif name in DETECTION_EVENTS:
+            node = _fault_node(record, DETECTION_EVENTS[name])
+            if node is not None:
+                detections[name][node].append(record["t"])
+
+    rows: List[Tuple[Any, ...]] = []
+    for node in sorted(first_fault):
+        fault_t, fault_name = first_fault[node]
+        first_suspicion = _first_at_or_after(
+            detections["acct.suspicion"].get(node, []), fault_t
+        )
+        first_exposure = _first_at_or_after(
+            detections["acct.exposure"].get(node, []), fault_t
+        )
+        candidates = [t for t in (first_suspicion, first_exposure)
+                      if t is not None]
+        latency = round(min(candidates) - fault_t, 6) if candidates else None
+        rows.append((
+            node,
+            fault_name,
+            round(fault_t, 6),
+            round(first_suspicion, 6) if first_suspicion is not None else None,
+            round(first_exposure, 6) if first_exposure is not None else None,
+            latency,
+        ))
+    return rows
+
+
+def _first_at_or_after(times: List[float], when: float) -> Optional[float]:
+    eligible = [t for t in times if t >= when]
+    return min(eligible) if eligible else None
+
+
+# --------------------------------------------------------------- metrics
+
+
+def final_metrics(records: List[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """The last ``metrics`` record in the trace, if any."""
+    last = None
+    for record in records:
+        if record.get("type") == "metrics":
+            last = record
+    return last
+
+
+def cache_rows(metrics: Dict[str, Any]) -> List[Tuple[str, Any]]:
+    """Cache-effectiveness counters out of a metrics record, sorted."""
+    counters = metrics.get("counters", {})
+    return sorted(
+        (name, value) for name, value in counters.items()
+        if name.startswith("caches.")
+    )

@@ -1,0 +1,161 @@
+"""Report helpers and the ``report`` CLI verb (plus ``--trace`` plumbing)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import Tracer, export_jsonl
+from repro.obs.report import (
+    cache_rows,
+    event_counts,
+    fault_detection_rows,
+    final_metrics,
+    load_trace,
+    span_rows,
+)
+
+
+def write_demo_trace(path):
+    tracer = Tracer()
+    for peer, (start, end) in ((3, (1.0, 2.0)), (4, (2.0, 2.5))):
+        span = tracer.begin_span("reconcile.round", t=start, node_id=1,
+                                 peer=peer)
+        tracer.end_span(span, t=end, outcome="ok")
+    tracer.event("chaos.crash", t=3.0, node_id=2)
+    tracer.event("acct.suspicion", t=4.0, node_id=1, accused=2,
+                 kind="timeout")
+    tracer.event("acct.exposure", t=6.0, node_id=1, accused=2,
+                 kind="equivocation")
+    tracer.registry.counter("caches.decode.hits").inc(9)
+    tracer.registry.counter("net.delivered").inc(40)
+    tracer.snapshot_metrics(t=7.0)
+    export_jsonl(tracer, str(path), meta={"seed": 1, "command": "demo"})
+    return path
+
+
+# ----------------------------------------------------------- pure helpers
+
+
+def test_load_trace_splits_meta_and_records(tmp_path):
+    path = write_demo_trace(tmp_path / "t.jsonl")
+    meta, records = load_trace(str(path))
+    assert meta == {"seed": 1, "command": "demo"}
+    assert len(records) == 6
+    assert records[0]["type"] == "span"
+
+
+def test_load_trace_rejects_non_json(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("this is not json\n")
+    with pytest.raises(ValueError):
+        load_trace(str(path))
+
+
+def test_span_rows_aggregate_and_per_node(tmp_path):
+    _, records = load_trace(str(write_demo_trace(tmp_path / "t.jsonl")))
+    (row,) = span_rows(records, per_node=False)
+    assert row == ("reconcile.round", "*", 2, 1.5, 0.75, 1.0)
+    (per_node_row,) = span_rows(records, per_node=True)
+    assert per_node_row[:3] == ("reconcile.round", 1, 2)
+
+
+def test_event_counts(tmp_path):
+    _, records = load_trace(str(write_demo_trace(tmp_path / "t.jsonl")))
+    assert event_counts(records) == [
+        ("acct.exposure", 1), ("acct.suspicion", 1), ("chaos.crash", 1),
+    ]
+
+
+def test_fault_detection_pairs_crash_with_first_detection(tmp_path):
+    _, records = load_trace(str(write_demo_trace(tmp_path / "t.jsonl")))
+    (row,) = fault_detection_rows(records)
+    node, fault, fault_t, suspicion_t, exposure_t, latency = row
+    assert (node, fault, fault_t) == (2, "chaos.crash", 3.0)
+    assert (suspicion_t, exposure_t) == (4.0, 6.0)
+    assert latency == 1.0  # suspicion came first
+
+
+def test_fault_without_detection_has_none_latency():
+    records = [{"type": "event", "t": 2.0, "name": "chaos.crash",
+                "node": 5, "attrs": {}}]
+    (row,) = fault_detection_rows(records)
+    assert row == (5, "chaos.crash", 2.0, None, None, None)
+
+
+def test_detection_before_fault_is_ignored():
+    records = [
+        {"type": "event", "t": 5.0, "name": "acct.suspicion", "node": 1,
+         "attrs": {"accused": 2}},
+        {"type": "event", "t": 9.0, "name": "chaos.crash", "node": 2,
+         "attrs": {}},
+    ]
+    (row,) = fault_detection_rows(records)
+    assert row[3] is None  # the t=5 suspicion predates the t=9 fault
+
+
+def test_final_metrics_and_cache_rows(tmp_path):
+    _, records = load_trace(str(write_demo_trace(tmp_path / "t.jsonl")))
+    metrics = final_metrics(records)
+    assert metrics["t"] == 7.0
+    assert cache_rows(metrics) == [("caches.decode.hits", 9)]
+    assert final_metrics([]) is None
+
+
+# -------------------------------------------------------------- CLI verb
+
+
+def test_report_command(tmp_path, capsys):
+    path = write_demo_trace(tmp_path / "t.jsonl")
+    code = main(["report", str(path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "reconcile.round" in out
+    assert "fault -> detection latency" in out
+    assert "chaos.crash" in out
+    assert "caches.decode.hits" in out
+
+
+def test_report_command_rejects_invalid_trace(tmp_path, capsys):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"schema": "bogus/9"}\n{"type": "mystery"}\n')
+    code = main(["report", str(path)])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "schema error" in err
+
+
+def test_run_command_with_trace_export(tmp_path, capsys):
+    trace = tmp_path / "run.jsonl"
+    chrome = tmp_path / "run.chrome.json"
+    out_json = tmp_path / "run.json"
+    code = main(["run", "--nodes", "8", "--rate", "3", "--duration", "4",
+                 "--drain", "4", "--trace", str(trace),
+                 "--trace-chrome", str(chrome), "--trace-sample", "10",
+                 "--json", str(out_json)])
+    assert code == 0
+    assert "trace written" in capsys.readouterr().out
+
+    header = json.loads(trace.read_text().splitlines()[0])
+    assert header["schema"] == "repro.trace/1"
+    assert header["meta"]["command"] == "run"
+    assert json.loads(chrome.read_text())["traceEvents"]
+
+    # satellite: run --json now surfaces drops, violations and metrics
+    result = json.loads(out_json.read_text())["result"]
+    assert set(result) >= {"drop_breakdown", "wire_violation_totals",
+                           "metrics"}
+    assert "counters" in result["metrics"]
+
+    # the report verb digests the freshly written trace
+    code = main(["report", str(trace)])
+    assert code == 0
+    assert "span durations" in capsys.readouterr().out
+
+
+def test_trace_flag_leaves_null_tracer_installed(tmp_path):
+    from repro import obs
+
+    main(["run", "--nodes", "6", "--rate", "2", "--duration", "3",
+          "--drain", "3", "--trace", str(tmp_path / "t.jsonl")])
+    assert obs.TRACER.enabled is False

@@ -14,7 +14,7 @@ def test_parser_covers_all_experiments():
     )
     commands = set(sub.choices)
     assert {"run", "fig6", "fig7", "fig8", "fig9", "fig10", "memory",
-            "cpu", "bench"} <= commands
+            "cpu", "bench", "report"} <= commands
 
 
 def test_run_command(capsys):

@@ -25,6 +25,16 @@ PUBLIC_MODULES = [
     "repro.workload",
     "repro.metrics",
     "repro.metrics.caches",
+    "repro.metrics.probes",
+    "repro.metrics.reporting",
+    "repro.metrics.stats",
+    "repro.metrics.trackers",
+    "repro.obs",
+    "repro.obs.tracer",
+    "repro.obs.registry",
+    "repro.obs.export",
+    "repro.obs.schema",
+    "repro.obs.report",
     "repro.bench",
     "repro.bench.runner",
     "repro.bench.suites",
@@ -50,6 +60,16 @@ def test_dunder_all_resolves(name):
     module = importlib.import_module(name)
     for symbol in getattr(module, "__all__", []):
         assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_metrics_convenience_exports():
+    """Probes and reporting helpers are importable from the package root."""
+    from repro.metrics import (  # noqa: F401
+        ConvergenceProbe,
+        format_table,
+        to_jsonable,
+        write_json,
+    )
 
 
 def test_version():
