@@ -3,9 +3,9 @@
 Entry points:
 
 * ``python -m repro bench`` -- run the suites from a shell; writes
-  ``BENCH_sketch.json`` and ``BENCH_reconcile.json`` (schema
-  ``repro.bench/1``, documented in :mod:`repro.bench.runner` and in
-  README "Benchmarks").
+  ``BENCH_sketch.json``, ``BENCH_reconcile.json`` and
+  ``BENCH_harness.json`` (schema ``repro.bench/1``, documented in
+  :mod:`repro.bench.runner` and in README "Benchmarks").
 * :func:`run_suites` -- the same programmatically.
 * :func:`bench_case` / :func:`write_bench_json` -- building blocks for
   ad-hoc measurements.
@@ -28,6 +28,7 @@ from repro.bench.runner import (
     bench_payload,
     write_bench_json,
 )
+from repro.bench.harness import harness_suite
 from repro.bench.suites import SUITES, reconcile_suite, sketch_suite
 
 __all__ = [
@@ -36,6 +37,7 @@ __all__ = [
     "BenchResult",
     "bench_case",
     "bench_payload",
+    "harness_suite",
     "reconcile_suite",
     "run_suites",
     "sketch_suite",

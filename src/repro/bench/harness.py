@@ -1,0 +1,128 @@
+"""The ``harness`` bench suite: whole-system simulation throughput.
+
+The ``sketch``/``reconcile`` suites track the hot *kernels*; this suite
+tracks the *end-to-end* harness -- how fast a full LO simulation advances
+(simulation events per wall second, wall seconds per simulated second)
+and how well the :mod:`repro.exec` sweep engine converts extra cores into
+sweep throughput (serial vs N-worker wall clock over an identical task
+matrix, with the byte-identity of the merged results checked as part of
+the run).  Emits ``BENCH_harness.json`` in the ``repro.bench/1`` schema,
+giving the repo its first whole-system performance trajectory.
+
+Derived metrics:
+
+* ``events_per_second`` -- simulation events executed per wall second in
+  one representative run;
+* ``wall_seconds_per_sim_second`` -- wall cost of one simulated second;
+* ``sweep_speedup_workersN`` -- serial wall / N-worker wall for the task
+  matrix (bounded by the machine's core count; ~1x or below on one core);
+* ``sweep_workers`` -- the N used (min(4, cpu count));
+* ``sweep_results_identical`` -- 1.0 iff the parallel merge was
+  byte-identical to the serial document (a 0.0 is a bug, not a perf
+  regression).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Tuple
+
+from repro.bench.runner import BenchResult, bench_case
+
+SuiteOutput = Tuple[List[BenchResult], Dict[str, float], Dict[str, Any]]
+
+
+def _sim_params(quick: bool) -> Dict[str, Any]:
+    return {
+        "num_nodes": 12 if quick else 24,
+        "rate_per_s": 5.0 if quick else 10.0,
+        "duration_s": 4.0 if quick else 8.0,
+        "drain_s": 2.0,
+    }
+
+
+def _task_grid(quick: bool) -> Dict[str, Any]:
+    # 4 (quick) / 8 tasks of a small but non-trivial simulation each.
+    return {"num_nodes": [8, 10] if quick else [8, 10, 12, 14]}
+
+
+def harness_suite(quick: bool = False, seed: int = 42) -> SuiteOutput:
+    """End-to-end simulation + sweep-engine benchmarks.
+
+    Returns ``(results, derived, params)`` like the other suites.  The
+    headline derived numbers are ``events_per_second`` (single-run
+    throughput) and ``sweep_speedup_workersN`` (multiprocess scaling of
+    the experiment executor).
+    """
+    from repro.exec import derive_tasks, run_sweep
+    from repro.exec.tasks import run_plain
+
+    results: List[BenchResult] = []
+    derived: Dict[str, float] = {}
+    repeats = 1 if quick else 2
+
+    # --- one full simulation run ---------------------------------------
+    sim_kwargs = _sim_params(quick)
+    sim_seconds = sim_kwargs["duration_s"] + sim_kwargs["drain_s"]
+    probe = run_plain(seed=seed, **sim_kwargs)
+    events = int(probe["events_processed"])
+
+    def one_run():
+        run_plain(seed=seed, **sim_kwargs)
+
+    case = bench_case(
+        f"sim/run/nodes={sim_kwargs['num_nodes']}", one_run,
+        params=dict(sim_kwargs, seed=seed, events=events,
+                    sim_seconds=sim_seconds),
+        iterations=1, repeats=repeats, ops_per_call=events,
+    )
+    results.append(case)
+    run_seconds = case.seconds_per_op * events  # whole-run wall seconds
+    derived["events_per_second"] = case.ops_per_second
+    derived["wall_seconds_per_sim_second"] = (
+        run_seconds / sim_seconds if sim_seconds else 0.0
+    )
+
+    # --- sweep engine: serial vs N workers -----------------------------
+    grid = _task_grid(quick)
+    repetitions = 2
+    tasks = derive_tasks("run", grid, base_seed=seed,
+                         repetitions=repetitions)
+    workers = min(4, os.cpu_count() or 1)
+    merged: Dict[int, bytes] = {}
+
+    def sweep_with(n: int):
+        def run():
+            merged[n] = run_sweep(tasks, workers=n).results_bytes()
+        return run
+
+    serial_case = bench_case(
+        f"sweep/serial/tasks={len(tasks)}", sweep_with(1),
+        params={"tasks": len(tasks), "grid": grid,
+                "repetitions": repetitions, "workers": 1},
+        iterations=1, repeats=repeats, ops_per_call=len(tasks),
+    )
+    results.append(serial_case)
+    parallel_case = bench_case(
+        f"sweep/workers={workers}/tasks={len(tasks)}", sweep_with(workers),
+        params={"tasks": len(tasks), "grid": grid,
+                "repetitions": repetitions, "workers": workers},
+        iterations=1, repeats=repeats, ops_per_call=len(tasks),
+    )
+    results.append(parallel_case)
+
+    derived["sweep_workers"] = float(workers)
+    derived["sweep_tasks"] = float(len(tasks))
+    derived["sweep_serial_wall_s"] = serial_case.seconds_per_op * len(tasks)
+    derived[f"sweep_workers{workers}_wall_s"] = (
+        parallel_case.seconds_per_op * len(tasks)
+    )
+    if parallel_case.seconds_per_op > 0:
+        derived[f"sweep_speedup_workers{workers}"] = (
+            serial_case.seconds_per_op / parallel_case.seconds_per_op
+        )
+    derived["sweep_results_identical"] = float(merged[1] == merged[workers])
+
+    params = {"quick": quick, "seed": seed, "sim": sim_kwargs,
+              "grid": grid, "repetitions": repetitions, "workers": workers}
+    return results, derived, params

@@ -1,7 +1,8 @@
 """The benchmark suites behind ``python -m repro bench``.
 
-Two suites, each emitting one ``BENCH_*.json`` file (schema documented in
-:mod:`repro.bench.runner`):
+Three suites, each emitting one ``BENCH_*.json`` file (schema documented
+in :mod:`repro.bench.runner`); the kernel-level pair lives here, the
+whole-system ``harness`` suite in :mod:`repro.bench.harness`:
 
 * ``sketch`` -- GF(2^m) multiply/inverse (scalar and batched), syndrome
   generation (``PinSketch.add_all``), and sketch decode at the paper's
@@ -10,6 +11,9 @@ Two suites, each emitting one ``BENCH_*.json`` file (schema documented in
 * ``reconcile`` -- one full pairwise reconciliation round over the
   hash-partitioned reconciler of section 6.5, at a paper-shaped set
   difference, reporting decode counts and sketch bytes alongside latency.
+* ``harness`` -- end-to-end simulation throughput and serial-vs-parallel
+  sweep-engine scaling (events/sec, wall per sim-second, N-worker
+  speedup).
 
 ``quick=True`` shrinks every size so the whole run finishes in a few
 seconds; CI uses it as a smoke test and artifact generator.
@@ -229,7 +233,10 @@ def reconcile_suite(quick: bool = False, seed: int = 42) -> SuiteOutput:
     return results, derived, params
 
 
+from repro.bench.harness import harness_suite  # noqa: E402  (suite registry)
+
 SUITES = {
     "sketch": sketch_suite,
     "reconcile": reconcile_suite,
+    "harness": harness_suite,
 }

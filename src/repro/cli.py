@@ -11,12 +11,19 @@ Examples::
     python -m repro memory --workloads 120 600
     python -m repro cpu   --difference 128
     python -m repro fig6  --nodes 20 --fractions 0.2 --trace t.jsonl
+    python -m repro fig6  --nodes 50 --fractions 0.1 0.2 0.3 --workers 3
+    python -m repro sweep fig6_point --param malicious_fraction=0.1,0.2 \
+        --param num_nodes=20 --repetitions 4 --workers 4 --out-dir sweep-out
     python -m repro report t.jsonl
 
 Every experiment subcommand accepts ``--json PATH`` to dump the raw
-result object and ``--trace PATH`` to write a deterministic
+result object, ``--workers N`` to parallelise its internal sweep across
+worker processes (results are identical to the serial run; see
+``docs/parallelism.md``), and ``--trace PATH`` to write a deterministic
 ``repro.trace/1`` JSONL trace (``--trace-chrome PATH`` adds a
-Perfetto-loadable Chrome trace); ``report`` summarises a trace.
+Perfetto-loadable Chrome trace); ``report`` summarises a trace; ``sweep``
+fans an (experiment x seed x grid) task matrix across a process pool with
+crash containment and a deterministic merge.
 """
 
 from __future__ import annotations
@@ -29,7 +36,14 @@ from typing import List, Optional
 from repro.metrics.reporting import format_table, write_json
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
+def _add_common(parser: argparse.ArgumentParser, sweeps: bool = True) -> None:
+    if sweeps:
+        help_text = ("worker processes for the verb's internal sweep"
+                     " (1 = serial; results are identical either way)")
+    else:
+        help_text = ("accepted for interface uniformity; this verb runs a"
+                     " single simulation, so extra workers are not used")
+    parser.add_argument("--workers", type=int, default=1, help=help_text)
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--json", type=str, default=None,
                         help="write the raw result object to this file")
@@ -100,7 +114,7 @@ def cmd_fig6(args) -> int:
     from repro.experiments.fig6_detection import run_fig6
 
     result = run_fig6(num_nodes=args.nodes, fractions=args.fractions,
-                      seed=args.seed)
+                      seed=args.seed, workers=args.workers)
     rows = [
         (
             f"{p.malicious_fraction:.0%}",
@@ -134,7 +148,8 @@ def cmd_fig8(args) -> int:
 
     result = run_fig8(num_nodes=args.nodes, size_sweep=args.sizes,
                       tx_rate_per_s=args.rate,
-                      workload_duration_s=args.duration, seed=args.seed)
+                      workload_duration_s=args.duration, seed=args.seed,
+                      workers=args.workers)
     rows = []
     for policy in (result.fifo, result.highest_fee):
         s = policy.summary
@@ -155,7 +170,8 @@ def cmd_fig9(args) -> int:
     from repro.experiments.fig9_bandwidth import run_fig9
 
     result = run_fig9(num_nodes=args.nodes, tx_rate_per_s=args.rate,
-                      workload_duration_s=args.duration, seed=args.seed)
+                      workload_duration_s=args.duration, seed=args.seed,
+                      workers=args.workers)
     rows = [
         (r.protocol, f"{r.overhead_bytes / 1e6:.2f}",
          f"{r.ratio_vs_lo:.1f}x", f"{r.mean_latency_s:.2f}")
@@ -171,7 +187,7 @@ def cmd_fig10(args) -> int:
 
     result = run_fig10(workloads_tx_per_minute=args.workloads,
                        num_nodes=args.nodes, duration_s=args.duration,
-                       seed=args.seed)
+                       seed=args.seed, workers=args.workers)
     rows = [
         (f"{p.tx_per_minute:.0f}",
          f"{p.reconciliations_per_node_per_min:.1f}",
@@ -188,7 +204,8 @@ def cmd_memory(args) -> int:
 
     result = run_memory_sweep(workloads_tx_per_minute=args.workloads,
                               num_nodes=args.nodes,
-                              duration_s=args.duration, seed=args.seed)
+                              duration_s=args.duration, seed=args.seed,
+                              workers=args.workers)
     rows = [
         (f"{p.tx_per_minute:.0f}", f"{p.avg_commitment_bytes:.0f}",
          f"{p.extrapolated_10k_nodes_mb:.1f}")
@@ -238,6 +255,108 @@ def cmd_bench(args) -> int:
         print(f"[json written to {payload['path']}]")
         print()
     return 0
+
+
+def _parse_param_value(text: str):
+    """Best-effort scalar literal parsing for ``--param`` grid values."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for convert in (int, float):
+        try:
+            return convert(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_grid(params: List[str]):
+    """``["nodes=10,20", "rate=5.0"]`` -> ``{"nodes": [10, 20], ...}``."""
+    grid = {}
+    for item in params:
+        name, eq, values = item.partition("=")
+        if not eq or not name or not values:
+            raise SystemExit(
+                f"--param must look like name=v1,v2,... (got {item!r})"
+            )
+        grid[name] = [_parse_param_value(v) for v in values.split(",")]
+    return grid
+
+
+def cmd_sweep(args) -> int:
+    from repro.exec import derive_tasks, experiment_names, run_sweep
+
+    if args.experiment not in experiment_names():
+        print(f"unknown experiment {args.experiment!r};"
+              f" have {experiment_names()}", file=sys.stderr)
+        return 2
+    if args.task_traces and not args.out_dir:
+        print("--task-traces requires --out-dir", file=sys.stderr)
+        return 2
+    grid = _parse_grid(args.param or [])
+    tasks = derive_tasks(args.experiment, grid, base_seed=args.seed,
+                         repetitions=args.repetitions)
+    trace_dir = args.out_dir if args.task_traces else None
+    outcome = run_sweep(
+        tasks, workers=args.workers, timeout_s=args.timeout,
+        retries=args.retries, trace_dir=trace_dir,
+    )
+    rows = [
+        (o.task.index, o.task.seed, o.task.repetition,
+         " ".join(f"{k}={v}" for k, v in sorted(o.task.params.items())) or "-",
+         "ok" if o.ok else "FAIL", f"{o.seconds:.2f}", o.attempts)
+        for o in outcome.outcomes
+    ]
+    print(format_table(
+        ("task", "seed", "rep", "params", "status", "task_s", "tries"), rows
+    ))
+    print(f"[{len(tasks)} tasks, {args.workers} worker(s),"
+          f" wall {outcome.wall_seconds:.2f}s,"
+          f" {len(outcome.failed())} failed"
+          + (f", {outcome.pool_rebuilds} pool rebuild(s)"
+             if outcome.pool_rebuilds else "") + "]")
+    for failed in outcome.failed():
+        print(f"  task {failed.task.index} failed: {failed.error}",
+              file=sys.stderr)
+
+    if args.out_dir:
+        paths = outcome.write_run_dir(args.out_dir)
+        print(f"[run directory {args.out_dir}: sweep.json, execution.json"
+              + (", task-*.trace.jsonl" if trace_dir else "") + "]")
+        del paths
+    if args.json:
+        with open(args.json, "wb") as stream:
+            stream.write(outcome.results_bytes())
+        print(f"[json written to {args.json}]")
+
+    code = 1 if outcome.failed() and args.strict else 0
+    if args.check_serial:
+        import tempfile
+
+        # Tracing perturbs the event count a simulation reports (metric
+        # snapshots are loop events), so the serial reference must run
+        # with the same tracing configuration -- its artifacts go to a
+        # throwaway directory rather than clobbering the run dir's.
+        with tempfile.TemporaryDirectory() as scratch:
+            serial = run_sweep(
+                tasks, workers=1, timeout_s=args.timeout,
+                trace_dir=scratch if trace_dir else None,
+            )
+        identical = serial.results_bytes() == outcome.results_bytes()
+        speedup = (serial.wall_seconds / outcome.wall_seconds
+                   if outcome.wall_seconds > 0 else 0.0)
+        print(f"[serial check: wall {serial.wall_seconds:.2f}s vs"
+              f" {outcome.wall_seconds:.2f}s parallel;"
+              f" speedup {speedup:.2f}x;"
+              f" results {'identical' if identical else 'DIFFER'}]")
+        if not identical:
+            print("serial and parallel sweep results differ", file=sys.stderr)
+            code = 1
+        if args.min_speedup and speedup < args.min_speedup:
+            print(f"speedup {speedup:.2f}x below required"
+                  f" {args.min_speedup:.2f}x", file=sys.stderr)
+            code = 1
+    return code
 
 
 def cmd_report(args) -> int:
@@ -335,7 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=20.0)
     p.add_argument("--drain", type=float, default=10.0)
     p.add_argument("--blocks", action="store_true")
-    _add_common(p)
+    _add_common(p, sweeps=False)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("fig6", help="detection times vs malicious fraction")
@@ -349,7 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=80)
     p.add_argument("--rate", type=float, default=20.0)
     p.add_argument("--duration", type=float, default=20.0)
-    _add_common(p)
+    _add_common(p, sweeps=False)
     p.set_defaults(func=cmd_fig7)
 
     p = sub.add_parser("fig8", help="FIFO vs Highest-Fee block latency")
@@ -386,8 +505,46 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("cpu", help="naive vs partitioned decode timing")
     p.add_argument("--difference", type=int, default=128)
     p.add_argument("--capacity", type=int, default=16)
-    _add_common(p)
+    _add_common(p, sweeps=False)
     p.set_defaults(func=cmd_cpu)
+
+    p = sub.add_parser(
+        "sweep",
+        help="fan (experiment x seed x grid-point) tasks across worker"
+             " processes; the merged results are byte-identical to a"
+             " serial run (see docs/parallelism.md)",
+    )
+    p.add_argument("experiment", type=str,
+                   help="registered experiment name (e.g. fig6_point, run,"
+                        " fig9, fig10_point, memory_point)")
+    p.add_argument("--param", action="append", metavar="NAME=V1,V2,...",
+                   help="one grid axis; repeat for a cartesian product")
+    p.add_argument("--repetitions", type=int, default=1,
+                   help="derived seeds per grid point (paper: 10)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="base seed for derive_seeds")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = serial)")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-task wall-clock budget; timed-out tasks are"
+                        " retried, then recorded as failures")
+    p.add_argument("--retries", type=int, default=1,
+                   help="extra attempts after a crash/timeout (default 1)")
+    p.add_argument("--out-dir", type=str, default=None,
+                   help="run directory for sweep.json + execution.json"
+                        " (+ per-task traces with --task-traces)")
+    p.add_argument("--task-traces", action="store_true",
+                   help="write a repro.trace/1 JSONL per task into --out-dir")
+    p.add_argument("--json", type=str, default=None,
+                   help="write the merged repro.sweep/1 results document")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero if any task failed")
+    p.add_argument("--check-serial", action="store_true",
+                   help="re-run serially and verify byte-identical results")
+    p.add_argument("--min-speedup", type=float, default=None,
+                   help="with --check-serial: require at least this"
+                        " parallel-over-serial wall-clock speedup")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
         "report",
@@ -404,7 +561,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="hot-path micro-benchmarks; writes BENCH_*.json "
              "(schema repro.bench/1)",
     )
-    p.add_argument("--suite", choices=["sketch", "reconcile", "all"],
+    p.add_argument("--suite",
+                   choices=["sketch", "reconcile", "harness", "all"],
                    default="all")
     p.add_argument("--quick", action="store_true",
                    help="reduced sizes for CI smoke runs")

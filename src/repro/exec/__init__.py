@@ -1,0 +1,55 @@
+"""``repro.exec``: the parallel experiment executor.
+
+The paper's evaluation protocol (section 6.1) is embarrassingly parallel:
+every experiment is a deterministic function of its seed, repeated 10
+times and swept over node counts / rates / adversary fractions.  This
+package fans those (experiment, seed, grid-point) tasks across worker
+processes and merges the results into a document byte-identical to the
+serial run:
+
+* :func:`derive_tasks` / :func:`expand_grid` -- deterministic task
+  enumeration on top of :func:`repro.experiments.derive_seeds`;
+* :func:`run_sweep` -- the engine: bounded in-flight dispatch, per-task
+  timeout + retry, worker-crash containment, order-independent merge;
+* :func:`map_points` / :func:`map_seeds` -- the thin fan-out primitives
+  behind the experiment runners' and :func:`repeat_scalar`'s ``workers``
+  parameter;
+* :func:`register_experiment` -- add custom sweepable entry points.
+
+Shell entry point: ``python -m repro sweep`` (plus ``--workers`` on every
+experiment verb).  See ``docs/parallelism.md`` for the execution model
+and the determinism argument.
+"""
+
+from repro.exec.engine import (
+    SweepOutcome,
+    TaskOutcome,
+    map_points,
+    map_seeds,
+    run_sweep,
+)
+from repro.exec.tasks import (
+    EXPERIMENTS,
+    SweepTask,
+    derive_tasks,
+    expand_grid,
+    experiment_names,
+    register_experiment,
+)
+from repro.exec.worker import execute_task, reset_worker_state
+
+__all__ = [
+    "EXPERIMENTS",
+    "SweepOutcome",
+    "SweepTask",
+    "TaskOutcome",
+    "derive_tasks",
+    "execute_task",
+    "expand_grid",
+    "experiment_names",
+    "map_points",
+    "map_seeds",
+    "register_experiment",
+    "reset_worker_state",
+    "run_sweep",
+]

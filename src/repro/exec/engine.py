@@ -1,0 +1,441 @@
+"""The multiprocess sweep engine: fan out tasks, merge deterministically.
+
+Execution model (see ``docs/parallelism.md``):
+
+* at most ``workers`` tasks are in flight at a time, dispatched to a
+  ``ProcessPoolExecutor`` from an internal queue, so submission time is a
+  faithful proxy for start time and parent-side deadlines stay meaningful;
+* a task that *raises* is a recorded failure (the worker catches and
+  reports it -- the pool is never poisoned by an experiment bug);
+* a task whose worker *dies* (segfault, ``os._exit``, OOM-kill) breaks the
+  pool; the engine rebuilds the executor, re-queues every in-flight task
+  (the crasher included, up to ``retries`` extra attempts) and carries on
+  -- a deterministic crasher ends up as a recorded failure, not a hung or
+  aborted sweep.  Because a break takes down innocent in-flight peers
+  too, every task gets one *post-budget* requeue after a break, so a
+  bystander disrupted on its final attempt is re-run instead of being
+  reported as failed;
+* a task that exceeds ``timeout_s`` is interrupted in-worker via
+  ``SIGALRM`` (and, as a backstop on platforms without it, the parent
+  abandons the pool once ``2 x timeout_s + 5 s`` passes), then retried
+  like a crash.
+
+Merging is order-independent: outcomes are keyed by ``task.index`` and
+re-assembled in derivation order, and worker-side state isolation
+(:func:`repro.exec.worker.reset_worker_state`) makes each result a pure
+function of its task -- so :meth:`SweepOutcome.results_bytes` is
+byte-identical between ``workers=1`` and ``workers=N`` runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.exec.tasks import SweepTask
+from repro.exec.worker import execute_task, reset_worker_state
+
+_POLL_S = 0.25
+
+
+@dataclass
+class TaskOutcome:
+    """The recorded result of one sweep task (success or failure)."""
+
+    task: SweepTask
+    ok: bool
+    result: Any = None
+    error: Optional[str] = None
+    timeout: bool = False
+    seconds: float = 0.0
+    attempts: int = 1
+    worker_pid: Optional[int] = None
+    trace_path: Optional[str] = None
+
+    def result_record(self) -> Dict[str, Any]:
+        """The deterministic (execution-independent) merge record."""
+        record: Dict[str, Any] = {
+            "index": self.task.index,
+            "experiment": self.task.experiment,
+            "seed": self.task.seed,
+            "repetition": self.task.repetition,
+            "params": dict(self.task.params),
+            "ok": self.ok,
+        }
+        if self.ok:
+            record["result"] = self.result
+        else:
+            record["error"] = self.error
+        return record
+
+    def execution_record(self) -> Dict[str, Any]:
+        """Timing/placement metadata (varies run to run; kept separate)."""
+        record: Dict[str, Any] = {
+            "index": self.task.index,
+            "seconds": self.seconds,
+            "attempts": self.attempts,
+            "worker_pid": self.worker_pid,
+        }
+        if self.timeout:
+            record["timeout"] = True
+        if self.trace_path:
+            record["trace_path"] = self.trace_path
+        return record
+
+
+@dataclass
+class SweepOutcome:
+    """A completed sweep: per-task outcomes plus execution metadata."""
+
+    outcomes: List[TaskOutcome] = field(default_factory=list)
+    workers: int = 1
+    wall_seconds: float = 0.0
+    pool_rebuilds: int = 0
+
+    def failed(self) -> List[TaskOutcome]:
+        """Outcomes that did not produce a result."""
+        return [o for o in self.outcomes if not o.ok]
+
+    def results_doc(self) -> Dict[str, Any]:
+        """The deterministic merged document (schema ``repro.sweep/1``).
+
+        Contains only data derived from the task list and the task
+        results; wall-clock, pids and retry counts live in
+        :meth:`execution_doc` so this document is byte-identical between
+        serial and parallel runs of the same sweep.
+        """
+        return {
+            "schema": "repro.sweep/1",
+            "tasks": [o.result_record() for o in self.outcomes],
+        }
+
+    def results_bytes(self) -> bytes:
+        """Canonical JSON serialisation of :meth:`results_doc`."""
+        return (
+            json.dumps(self.results_doc(), indent=2, sort_keys=True) + "\n"
+        ).encode("utf-8")
+
+    def execution_doc(self) -> Dict[str, Any]:
+        """Timings and placement: everything the results doc excludes."""
+        return {
+            "schema": "repro.sweep-execution/1",
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "pool_rebuilds": self.pool_rebuilds,
+            "tasks_total": len(self.outcomes),
+            "tasks_failed": len(self.failed()),
+            "task_seconds_total": sum(o.seconds for o in self.outcomes),
+            "tasks": [o.execution_record() for o in self.outcomes],
+        }
+
+    def write_run_dir(self, run_dir: str) -> Dict[str, str]:
+        """Write ``sweep.json`` + ``execution.json`` into ``run_dir``.
+
+        Per-task trace artifacts (when the sweep ran with a trace
+        directory) already live there, written by the workers themselves;
+        this collects the merged views alongside them.
+        """
+        os.makedirs(run_dir, exist_ok=True)
+        paths = {
+            "results": os.path.join(run_dir, "sweep.json"),
+            "execution": os.path.join(run_dir, "execution.json"),
+        }
+        with open(paths["results"], "wb") as stream:
+            stream.write(self.results_bytes())
+        with open(paths["execution"], "w", encoding="utf-8") as stream:
+            json.dump(self.execution_doc(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        return paths
+
+
+def _kill_workers(executor: ProcessPoolExecutor) -> None:
+    """Best-effort SIGKILL of a pool's worker processes.
+
+    Used only on the hard-deadline path, where a worker is wedged beyond
+    the reach of the in-worker ``SIGALRM``; without the kill, a stuck
+    non-daemon worker would block interpreter shutdown.  Reaches into the
+    executor's private process table, so every step is defensive.
+    """
+    import signal as _signal
+
+    for process in list(getattr(executor, "_processes", {}).values()):
+        try:
+            process.terminate()
+            os.kill(process.pid, _signal.SIGKILL)
+        except (OSError, AttributeError, ValueError):
+            pass
+
+
+def _spec_for(task: SweepTask, timeout_s: Optional[float],
+              trace_dir: Optional[str]) -> Dict[str, Any]:
+    spec = task.spec()
+    if timeout_s is not None:
+        spec["timeout_s"] = timeout_s
+    if trace_dir is not None:
+        spec["trace_dir"] = trace_dir
+    return spec
+
+
+def _outcome_from_payload(task: SweepTask, payload: Dict[str, Any],
+                          attempts: int) -> TaskOutcome:
+    return TaskOutcome(
+        task=task,
+        ok=payload["ok"],
+        result=payload.get("result"),
+        error=payload.get("error"),
+        timeout=bool(payload.get("timeout")),
+        seconds=payload.get("seconds", 0.0),
+        attempts=attempts,
+        worker_pid=payload.get("worker_pid"),
+        trace_path=payload.get("trace_path"),
+    )
+
+
+def run_sweep(
+    tasks: Sequence[SweepTask],
+    workers: int = 1,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    trace_dir: Optional[str] = None,
+) -> SweepOutcome:
+    """Execute ``tasks`` and merge the outcomes in derivation order.
+
+    ``workers <= 1`` runs everything in-process (same per-task state reset
+    as the workers apply, so the results document is identical either
+    way); ``workers > 1`` fans out across a process pool with crash
+    containment and per-task ``timeout_s``/``retries``.
+    """
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+    start = time.perf_counter()
+    if workers <= 1:
+        outcome = _run_serial(tasks, timeout_s, trace_dir)
+    else:
+        outcome = _run_parallel(tasks, workers, timeout_s, retries, trace_dir)
+    outcome.outcomes.sort(key=lambda o: o.task.index)
+    outcome.wall_seconds = time.perf_counter() - start
+    return outcome
+
+
+def _run_serial(tasks: Sequence[SweepTask], timeout_s: Optional[float],
+                trace_dir: Optional[str]) -> SweepOutcome:
+    """In-process execution with the same per-task isolation as workers.
+
+    The parent's own global state (installed tracer, signature-verifier
+    registry) is saved and restored around the sweep so running a serial
+    sweep mid-session does not disturb the caller's simulations.
+    """
+    from repro import obs
+    from repro.crypto import keys
+
+    saved_tracer = obs.TRACER
+    saved_verifiers = dict(keys._VERIFIERS)
+    outcomes: List[TaskOutcome] = []
+    try:
+        for task in tasks:
+            payload = execute_task(_spec_for(task, timeout_s, trace_dir))
+            outcomes.append(_outcome_from_payload(task, payload, attempts=1))
+    finally:
+        reset_worker_state()
+        keys._VERIFIERS.update(saved_verifiers)
+        obs.set_tracer(saved_tracer)
+    return SweepOutcome(outcomes=outcomes, workers=1)
+
+
+def _run_parallel(
+    tasks: Sequence[SweepTask],
+    workers: int,
+    timeout_s: Optional[float],
+    retries: int,
+    trace_dir: Optional[str],
+) -> SweepOutcome:
+    done_outcomes: Dict[int, TaskOutcome] = {}
+    queue = deque((task, 1) for task in tasks)  # (task, attempt_number)
+    executor = ProcessPoolExecutor(max_workers=workers)
+    in_flight: Dict[Any, Any] = {}  # future -> (task, attempt, submitted_at)
+    # Backstop for platforms where the in-worker SIGALRM timeout cannot
+    # fire: abandon the pool once a task has run well past its budget.
+    hard_deadline_s = None if timeout_s is None else 2.0 * timeout_s + 5.0
+    rebuilds = 0
+    graced: set = set()  # task indexes granted a post-budget requeue
+
+    def record_failure(task: SweepTask, attempt: int, error: str,
+                       timeout: bool = False) -> None:
+        done_outcomes[task.index] = TaskOutcome(
+            task=task, ok=False, error=error, timeout=timeout,
+            attempts=attempt,
+        )
+
+    def requeue_or_fail(task: SweepTask, attempt: int, error: str,
+                        timeout: bool = False) -> None:
+        if attempt <= retries:
+            queue.append((task, attempt + 1))
+        elif task.index not in graced:
+            # A pool break takes down every in-flight task, the crasher
+            # and innocent bystanders alike.  One post-budget requeue per
+            # task means a bystander disrupted on its final attempt is
+            # re-run rather than failed without ever having crashed
+            # itself; a true crasher burns the grace on its next break
+            # and still terminates.
+            graced.add(task.index)
+            queue.append((task, attempt + 1))
+        else:
+            record_failure(task, attempt, error, timeout)
+
+    def drain_broken_pool(note: str) -> None:
+        """Re-queue everything in flight and rebuild the executor."""
+        nonlocal executor, rebuilds
+        for future, (task, attempt, _) in list(in_flight.items()):
+            if future.done() and not future.cancelled():
+                exc = future.exception()
+                if exc is None:
+                    payload = future.result()
+                    handle_payload(task, attempt, payload)
+                    continue
+            requeue_or_fail(task, attempt, note)
+        in_flight.clear()
+        executor.shutdown(wait=False, cancel_futures=True)
+        executor = ProcessPoolExecutor(max_workers=workers)
+        rebuilds += 1
+
+    def handle_payload(task: SweepTask, attempt: int,
+                       payload: Dict[str, Any]) -> None:
+        if payload.get("timeout") and attempt <= retries:
+            queue.append((task, attempt + 1))
+            return
+        outcome = _outcome_from_payload(task, payload, attempts=attempt)
+        done_outcomes[task.index] = outcome
+
+    try:
+        while queue or in_flight:
+            while queue and len(in_flight) < workers:
+                task, attempt = queue.popleft()
+                try:
+                    future = executor.submit(
+                        execute_task, _spec_for(task, timeout_s, trace_dir)
+                    )
+                except BrokenProcessPool as exc:
+                    queue.appendleft((task, attempt))
+                    drain_broken_pool(f"worker process crashed: {exc}")
+                    continue
+                in_flight[future] = (task, attempt, time.monotonic())
+            completed, _ = wait(
+                list(in_flight), timeout=_POLL_S,
+                return_when=FIRST_COMPLETED,
+            )
+            broken = None
+            for future in completed:
+                task, attempt, _ = in_flight.pop(future)
+                try:
+                    payload = future.result()
+                except BrokenProcessPool as exc:
+                    broken = f"worker process crashed: {exc}"
+                    requeue_or_fail(task, attempt, broken)
+                    continue
+                except Exception as exc:  # transport failure (e.g. pickling)
+                    record_failure(
+                        task, attempt, f"result transport failed: {exc}"
+                    )
+                    continue
+                handle_payload(task, attempt, payload)
+            if broken is not None:
+                drain_broken_pool(broken)
+                continue
+            if hard_deadline_s is not None:
+                now = time.monotonic()
+                stuck = [
+                    (task, attempt)
+                    for _, (task, attempt, submitted) in in_flight.items()
+                    if now - submitted > hard_deadline_s
+                ]
+                if stuck:
+                    for task, attempt in stuck:
+                        requeue_or_fail(
+                            task, attempt,
+                            f"task exceeded hard deadline"
+                            f" ({hard_deadline_s:.1f}s); worker abandoned",
+                            timeout=True,
+                        )
+                    stuck_indexes = {task.index for task, _ in stuck}
+                    for future, (task, attempt, _) in list(in_flight.items()):
+                        if task.index not in stuck_indexes:
+                            requeue_or_fail(
+                                task, attempt, "pool torn down (stuck peer)"
+                            )
+                    in_flight.clear()
+                    _kill_workers(executor)
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = ProcessPoolExecutor(max_workers=workers)
+                    rebuilds += 1
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    return SweepOutcome(
+        outcomes=list(done_outcomes.values()), workers=workers,
+        pool_rebuilds=rebuilds,
+    )
+
+
+# ------------------------------------------------------- point-level fan-out
+
+
+def _isolated_apply(fn: Callable[..., Any], kwargs: Dict[str, Any]) -> Any:
+    """Worker-side shim: reset process state, then apply ``fn``."""
+    reset_worker_state()
+    return fn(**kwargs)
+
+
+def map_points(
+    fn: Callable[..., Any],
+    calls: Sequence[Mapping[str, Any]],
+    workers: int = 1,
+) -> List[Any]:
+    """Apply ``fn(**kwargs)`` to every call, preserving input order.
+
+    The parallel building block behind the experiment runners' ``workers``
+    parameter: ``fn`` must be a module-level callable and each result
+    picklable.  ``workers <= 1`` is a plain in-process loop (byte-for-byte
+    the pre-existing serial behaviour); with more workers the points run
+    in a process pool and exceptions propagate to the caller.
+    """
+    if workers <= 1 or len(calls) <= 1:
+        return [fn(**dict(kwargs)) for kwargs in calls]
+    effective = min(workers, len(calls))
+    with ProcessPoolExecutor(max_workers=effective) as executor:
+        futures = [
+            executor.submit(_isolated_apply, fn, dict(kwargs))
+            for kwargs in calls
+        ]
+        return [future.result() for future in futures]
+
+
+def _isolated_seed_call(fn: Callable[[int], Any], seed: int) -> Any:
+    """Worker-side shim for seed-indexed repetition runs."""
+    reset_worker_state()
+    return fn(seed)
+
+
+def map_seeds(
+    run: Callable[[int], Any],
+    seeds: Sequence[int],
+    workers: int = 1,
+) -> List[Any]:
+    """``[run(seed) for seed in seeds]``, optionally across processes.
+
+    Order is preserved, so downstream aggregation (mean/std in
+    :func:`repro.experiments.repeat.repeat_scalar`) consumes the exact
+    float sequence the serial path would.
+    """
+    if workers <= 1 or len(seeds) <= 1:
+        return [run(seed) for seed in seeds]
+    effective = min(workers, len(seeds))
+    with ProcessPoolExecutor(max_workers=effective) as executor:
+        futures = [
+            executor.submit(_isolated_seed_call, run, seed) for seed in seeds
+        ]
+        return [future.result() for future in futures]

@@ -1,0 +1,138 @@
+"""Worker-side task execution with per-task process-state isolation.
+
+A worker process executes many tasks over its lifetime, and several
+subsystems keep *process-global* state that would otherwise leak between
+tasks (and differ from a fresh serial run):
+
+* the sketch syndrome/decode LRUs (``repro.sketch.pinsketch``),
+* the cache hit/miss counters (``repro.metrics.caches``),
+* the installed tracer (``repro.obs.TRACER``),
+* the signature-verification registry (``repro.crypto.keys._VERIFIERS``).
+
+:func:`reset_worker_state` restores all of them to cold-start condition;
+:func:`execute_task` calls it before every task so a task's observable
+output is a function of ``(experiment, seed, params)`` alone -- the
+invariant behind the serial/parallel byte-identity guarantee.
+
+Simulation *results* never depend on cache contents (caches memoise pure
+functions) or on the verifier registry (every simulation re-registers its
+nodes' deterministic keys at construction); what the reset protects is the
+*metrics* surface (per-run cache counters, trace streams) and memory
+footprint across long sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import traceback
+from typing import Any, Dict, Optional
+
+
+class TaskTimeout(RuntimeError):
+    """Raised inside a worker when a task exceeds its wall-clock budget."""
+
+
+def reset_worker_state() -> None:
+    """Restore cold-start process-global state (caches, tracer, verifiers)."""
+    from repro import obs
+    from repro.crypto import keys
+    from repro.metrics.caches import reset_cache_stats
+    from repro.sketch.pinsketch import clear_decode_cache, clear_syndrome_cache
+
+    obs.clear_tracer()
+    clear_syndrome_cache()
+    clear_decode_cache()
+    reset_cache_stats()
+    keys._VERIFIERS.clear()
+
+
+def _alarm_supported() -> bool:
+    """SIGALRM-based timeouts need a Unix main thread."""
+    import threading
+
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+def execute_task(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one task spec (see :meth:`SweepTask.spec`) and report the outcome.
+
+    Returns a plain dict -- never raises -- so an experiment bug is a
+    *recorded failure*, not a poisoned pool:
+
+    ``{"index", "ok", "result" | "error", "seconds", "worker_pid"}``
+
+    ``result`` is already passed through
+    :func:`repro.metrics.reporting.to_jsonable`, so the parent can merge
+    and serialise outcomes without importing experiment result classes.
+
+    Optional spec keys: ``timeout_s`` (enforced in-worker via ``SIGALRM``
+    where available, so a wedged simulation is interrupted rather than
+    hanging the sweep) and ``trace_dir`` (write a per-task
+    ``repro.trace/1`` JSONL into the run directory).
+    """
+    from repro import obs
+    from repro.exec.tasks import EXPERIMENTS
+    from repro.metrics.reporting import to_jsonable
+
+    index = spec["index"]
+    timeout_s: Optional[float] = spec.get("timeout_s")
+    trace_dir: Optional[str] = spec.get("trace_dir")
+    reset_worker_state()
+
+    outcome: Dict[str, Any] = {
+        "index": index,
+        "ok": False,
+        "worker_pid": os.getpid(),
+    }
+    alarm_set = False
+    if timeout_s is not None and _alarm_supported():
+        def _on_alarm(signum, frame):
+            raise TaskTimeout(
+                f"task {index} exceeded timeout_s={timeout_s:g}"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+        alarm_set = True
+
+    tracer = None
+    start = time.perf_counter()
+    try:
+        runner = EXPERIMENTS[spec["experiment"]]
+        if trace_dir:
+            tracer = obs.Tracer()
+            obs.set_tracer(tracer)
+        result = runner(seed=spec["seed"], **spec["params"])
+        outcome["ok"] = True
+        outcome["result"] = to_jsonable(result)
+    except TaskTimeout as exc:
+        outcome["error"] = str(exc)
+        outcome["timeout"] = True
+    except Exception as exc:  # noqa: BLE001 - contained, reported upstream
+        outcome["error"] = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+        outcome["traceback"] = traceback.format_exc()
+    finally:
+        if alarm_set:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+        outcome["seconds"] = time.perf_counter() - start
+        if tracer is not None:
+            obs.clear_tracer()
+            try:
+                path = os.path.join(trace_dir, f"task-{index:04d}.trace.jsonl")
+                obs.export_jsonl(tracer, path, {
+                    "experiment": spec["experiment"],
+                    "seed": spec["seed"],
+                    "task_index": index,
+                })
+                outcome["trace_path"] = path
+            except OSError as exc:  # artifact loss is not a task failure
+                outcome["trace_error"] = str(exc)
+    return outcome

@@ -60,12 +60,17 @@ def run_fig10(
     num_nodes: int = 50,
     duration_s: float = 30.0,
     seed: int = 42,
+    workers: int = 1,
 ) -> Fig10Result:
-    """Sweep the workload as in Fig. 10."""
+    """Sweep the workload as in Fig. 10 (optionally across processes)."""
+    from repro.exec.engine import map_points
+
     workloads = workloads_tx_per_minute or [30, 120, 300, 600, 1200]
-    result = Fig10Result()
-    for workload in workloads:
-        result.points.append(
-            run_fig10_point(workload, num_nodes, duration_s, seed)
-        )
-    return result
+    calls = [
+        {"tx_per_minute": workload, "num_nodes": num_nodes,
+         "duration_s": duration_s, "seed": seed}
+        for workload in workloads
+    ]
+    return Fig10Result(
+        points=map_points(run_fig10_point, calls, workers=workers)
+    )

@@ -109,18 +109,31 @@ def run_fig8(
     tx_rate_per_s: float = 10.0,
     workload_duration_s: float = 60.0,
     seed: int = 42,
+    workers: int = 1,
 ) -> Fig8Result:
-    """Both panels of Fig. 8."""
-    fifo = run_policy(
-        "fifo", num_nodes, tx_rate_per_s, workload_duration_s, seed=seed
-    )
-    highest_fee = run_policy(
-        "highest_fee", num_nodes, tx_rate_per_s, workload_duration_s, seed=seed
-    )
-    sweep: Dict[int, Dict[str, float]] = {}
-    for n in size_sweep or []:
-        point = run_policy(
-            "fifo", n, tx_rate_per_s, workload_duration_s, seed=seed
-        )
-        sweep[n] = point.summary
-    return Fig8Result(fifo=fifo, highest_fee=highest_fee, size_sweep=sweep)
+    """Both panels of Fig. 8.
+
+    With ``workers > 1`` the two policy runs and every size-sweep point
+    execute in parallel worker processes (all are independent simulations
+    of the same seed), merged back in a fixed order.
+    """
+    from repro.exec.engine import map_points
+
+    sizes = list(size_sweep or [])
+    calls = [
+        {"policy": "fifo", "num_nodes": num_nodes,
+         "tx_rate_per_s": tx_rate_per_s,
+         "workload_duration_s": workload_duration_s, "seed": seed},
+        {"policy": "highest_fee", "num_nodes": num_nodes,
+         "tx_rate_per_s": tx_rate_per_s,
+         "workload_duration_s": workload_duration_s, "seed": seed},
+    ] + [
+        {"policy": "fifo", "num_nodes": n, "tx_rate_per_s": tx_rate_per_s,
+         "workload_duration_s": workload_duration_s, "seed": seed}
+        for n in sizes
+    ]
+    points = map_points(run_policy, calls, workers=workers)
+    sweep: Dict[int, Dict[str, float]] = {
+        n: point.summary for n, point in zip(sizes, points[2:])
+    }
+    return Fig8Result(fifo=points[0], highest_fee=points[1], size_sweep=sweep)

@@ -46,49 +46,84 @@ class Fig9Result:
         return {row.protocol: row for row in self.rows}
 
 
+PROTOCOLS = ("lo", "flood", "peerreview", "narwhal")
+
+_BASELINES = {
+    "flood": FloodNode,
+    "peerreview": PeerReviewNode,
+    "narwhal": NarwhalNode,
+}
+
+
+def run_protocol_point(
+    protocol: str,
+    num_nodes: int = 60,
+    tx_rate_per_s: float = 10.0,
+    workload_duration_s: float = 15.0,
+    drain_s: float = 5.0,
+    seed: int = 42,
+) -> ProtocolBandwidth:
+    """Measure one protocol's overhead/latency on the shared workload.
+
+    ``ratio_vs_lo`` is left at 0.0 -- it is a cross-protocol quantity,
+    filled in by :func:`run_fig9` once the LO measurement is known.
+    """
+    horizon = workload_duration_s + drain_s
+    if protocol == "lo":
+        sim = LOSimulation(SimulationParams(num_nodes=num_nodes, seed=seed))
+        sim.inject_workload(
+            rate_per_s=tx_rate_per_s, duration_s=workload_duration_s
+        )
+        sim.run(horizon)
+        latencies = sim.mempool_tracker.all_latencies()
+        overhead = sim.total_overhead_bytes()
+    else:
+        sim = BaselineSimulation(
+            _BASELINES[protocol], num_nodes=num_nodes, seed=seed
+        )
+        sim.inject_workload(tx_rate_per_s, workload_duration_s)
+        sim.run(horizon)
+        latencies = sim.tracker.all_latencies()
+        overhead = sim.total_overhead_bytes()
+    return ProtocolBandwidth(
+        protocol=protocol,
+        overhead_bytes=overhead,
+        overhead_bytes_per_node_per_s=overhead / num_nodes / horizon,
+        mean_latency_s=statistics.mean(latencies) if latencies else 0.0,
+    )
+
+
 def run_fig9(
     num_nodes: int = 60,
     tx_rate_per_s: float = 10.0,
     workload_duration_s: float = 15.0,
     drain_s: float = 5.0,
     seed: int = 42,
+    workers: int = 1,
 ) -> Fig9Result:
-    """Measure overhead for the four protocols on identical workloads."""
-    horizon = workload_duration_s + drain_s
-    rows: List[ProtocolBandwidth] = []
+    """Measure overhead for the four protocols on identical workloads.
 
-    lo_sim = LOSimulation(SimulationParams(num_nodes=num_nodes, seed=seed))
-    lo_sim.inject_workload(rate_per_s=tx_rate_per_s, duration_s=workload_duration_s)
-    lo_sim.run(horizon)
-    lo_latencies = lo_sim.mempool_tracker.all_latencies()
-    lo_overhead = lo_sim.total_overhead_bytes()
-    rows.append(
-        ProtocolBandwidth(
-            protocol="lo",
-            overhead_bytes=lo_overhead,
-            overhead_bytes_per_node_per_s=lo_overhead / num_nodes / horizon,
-            mean_latency_s=statistics.mean(lo_latencies) if lo_latencies else 0.0,
-            ratio_vs_lo=1.0,
-        )
-    )
+    ``workers > 1`` runs the four protocol simulations in parallel
+    worker processes; each is independent and deterministic, and the
+    vs-LO ratios are computed after the merge, so the result matches the
+    serial run exactly.
+    """
+    from repro.exec.engine import map_points
 
-    for name, cls in (
-        ("flood", FloodNode),
-        ("peerreview", PeerReviewNode),
-        ("narwhal", NarwhalNode),
-    ):
-        sim = BaselineSimulation(cls, num_nodes=num_nodes, seed=seed)
-        sim.inject_workload(tx_rate_per_s, workload_duration_s)
-        sim.run(horizon)
-        latencies = sim.tracker.all_latencies()
-        overhead = sim.total_overhead_bytes()
-        rows.append(
-            ProtocolBandwidth(
-                protocol=name,
-                overhead_bytes=overhead,
-                overhead_bytes_per_node_per_s=overhead / num_nodes / horizon,
-                mean_latency_s=statistics.mean(latencies) if latencies else 0.0,
-                ratio_vs_lo=overhead / lo_overhead if lo_overhead else 0.0,
+    calls = [
+        {"protocol": name, "num_nodes": num_nodes,
+         "tx_rate_per_s": tx_rate_per_s,
+         "workload_duration_s": workload_duration_s,
+         "drain_s": drain_s, "seed": seed}
+        for name in PROTOCOLS
+    ]
+    rows = map_points(run_protocol_point, calls, workers=workers)
+    lo_overhead = rows[0].overhead_bytes
+    for row in rows:
+        if row.protocol == "lo":
+            row.ratio_vs_lo = 1.0
+        else:
+            row.ratio_vs_lo = (
+                row.overhead_bytes / lo_overhead if lo_overhead else 0.0
             )
-        )
     return Fig9Result(rows=rows)

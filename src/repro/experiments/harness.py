@@ -21,7 +21,7 @@ from repro.chain.leader import LeaderSchedule
 from repro.core.config import LOConfig
 from repro.gossip import NeighborShuffler, PeerSampler
 from repro.core.node import Directory, LONode
-from repro.metrics import EventCounter, LatencyTracker
+from repro.metrics import EventCounter, LatencyTracker, reset_cache_stats
 from repro.net.chaos import ChaosController, ChaosPlan
 from repro.net.latency import CityLatencyModel, LatencyModel
 from repro.net.network import Network
@@ -79,6 +79,13 @@ class LOSimulation:
     """A ready-to-run LO network."""
 
     def __init__(self, params: SimulationParams):
+        # Per-run cache-metric scoping: the sketch LRU hit/miss counters are
+        # process-global, so without this reset every `run --json` and
+        # metrics snapshot would report numbers accumulated across all
+        # repetitions (and, in a sweep worker, all prior tasks) instead of
+        # this run's own cache behaviour.  The cache *contents* are kept --
+        # they memoise pure functions and only affect speed.
+        reset_cache_stats()
         self.params = params
         self.rng = SeededRng(params.seed)
         self.loop = EventLoop()
@@ -120,6 +127,7 @@ class LOSimulation:
                 block_tracker=self.block_tracker,
                 counter=self.counter,
             )
+            node.on_block_created = self._note_block_created
             self.nodes[node_id] = node
         self.malicious_ids: Set[int] = malicious
         self.correct_ids: List[int] = [
@@ -170,6 +178,13 @@ class LOSimulation:
             shuffler.start()
         if self.leader_schedule is not None:
             self.leader_schedule.start()
+
+        # Canonical chain height, maintained incrementally: every block
+        # enters the network through some node's builder (correct leaders
+        # and block-manipulating attackers alike fire on_block_created),
+        # and deliveries/restarts can never push any ledger beyond the
+        # highest created block -- so tracking creations tracks the max.
+        self._canonical_height = -1
 
         self._runs = 0
         self._wire_tracing()
@@ -245,18 +260,30 @@ class LOSimulation:
     def _on_leader(self, node_id: int) -> None:
         self.nodes[node_id].on_leader_elected()
 
+    def _note_block_created(self, block) -> None:
+        """Track the canonical tip incrementally (O(1) per created block)."""
+        if block.height > self._canonical_height:
+            self._canonical_height = block.height
+
+    @property
+    def canonical_height(self) -> int:
+        """Height of the highest block created anywhere in the network."""
+        return self._canonical_height
+
     def _can_propose(self, node_id: int) -> bool:
         """Stage-IV abstraction: a slot goes to an online, up-to-date miner.
 
         Consensus is out of scope (section 2.3); modelling it as "one
         finalised block per slot" requires the winning proposal to extend
         the canonical tip -- an offline node, or one still catching up
-        after a crash, cannot get a stale proposal finalised.
+        after a crash, cannot get a stale proposal finalised.  The
+        canonical height is maintained by :meth:`_note_block_created`;
+        recomputing ``max`` over every ledger here would make each leader
+        slot O(num_nodes).
         """
         if self.network.is_crashed(node_id):
             return False
-        canonical_height = max(n.ledger.height for n in self.nodes.values())
-        return self.nodes[node_id].ledger.height == canonical_height
+        return self.nodes[node_id].ledger.height == self._canonical_height
 
     def inject_workload(
         self, rate_per_s: float, duration_s: float, start_at: float = 0.0

@@ -26,15 +26,30 @@ def repeat_scalar(
     extract: Dict[str, Callable[[T], float]],
     base_seed: int = 42,
     repetitions: int = 3,
+    workers: int = 1,
 ) -> Dict[str, Dict[str, float]]:
     """Run ``run(seed)`` per repetition and average scalar extractions.
 
     Returns ``{metric: {"mean": ..., "std": ..., "min": ..., "max": ...,
     "runs": n}}`` for each extractor.
+
+    ``workers > 1`` fans the repetitions across worker processes
+    (:func:`repro.exec.map_seeds`); results come back in seed order and
+    the extraction/aggregation below consumes the identical float
+    sequence, so mean/std match the serial run exactly.  ``run`` must
+    then be picklable (a module-level function or ``functools.partial``
+    of one); ``extract`` callables always run in this process and are
+    unconstrained.
     """
+    seeds = derive_seeds(base_seed, repetitions)
+    if workers > 1:
+        from repro.exec.engine import map_seeds
+
+        results = map_seeds(run, seeds, workers=workers)
+    else:
+        results = [run(seed) for seed in seeds]
     samples: Dict[str, List[float]] = {name: [] for name in extract}
-    for seed in derive_seeds(base_seed, repetitions):
-        result = run(seed)
+    for result in results:
         for name, fn in extract.items():
             samples[name].append(float(fn(result)))
     out: Dict[str, Dict[str, float]] = {}

@@ -22,21 +22,28 @@ class Event:
 
     Events are returned by :meth:`EventLoop.call_at` /
     :meth:`EventLoop.call_later` and can be cancelled.  A cancelled event
-    stays in the heap but is skipped when popped.
+    stays in the heap until it is popped or the owning loop compacts its
+    heap (see :meth:`EventLoop._maybe_compact`).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_loop")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: Tuple):
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any],
+                 args: Tuple, loop: Optional["EventLoop"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._loop = loop
 
     def cancel(self) -> None:
         """Prevent the callback from running when the event is popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._loop is not None:
+            self._loop._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -60,11 +67,17 @@ class EventLoop:
     10.0
     """
 
+    #: Compaction never triggers below this heap size: rebuilding a tiny
+    #: heap costs more bookkeeping than the dead entries it would free.
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._heap: List[Event] = []
         self._seq = itertools.count()
         self._processed = 0
+        self._cancelled = 0
+        self._compactions = 0
         self._running = False
 
     @property
@@ -74,8 +87,18 @@ class EventLoop:
 
     @property
     def pending_events(self) -> int:
-        """Number of events in the heap (including cancelled ones)."""
+        """Number of live (non-cancelled) events awaiting execution."""
+        return len(self._heap) - self._cancelled
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, cancelled tombstones included (for tests)."""
         return len(self._heap)
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap was rebuilt to shed cancelled events."""
+        return self._compactions
 
     @property
     def processed_events(self) -> int:
@@ -88,9 +111,32 @@ class EventLoop:
             raise SimulationError(
                 f"cannot schedule event at t={when:.6f} before now={self._now:.6f}"
             )
-        event = Event(when, next(self._seq), callback, args)
+        event = Event(when, next(self._seq), callback, args, loop=self)
         heapq.heappush(self._heap, event)
         return event
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel`; compacts when tombstones dominate.
+
+        Heavy retry/cancel workloads (session timeouts rearmed on every
+        round) would otherwise grow the heap without bound: cancelled
+        events are only freed when their timestamp is finally popped,
+        which for long-timeout timers can be arbitrarily far in the
+        future.  Rebuilding once the cancelled fraction passes 50% keeps
+        the heap O(live events) at amortised O(1) per cancellation.
+        """
+        self._cancelled += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        if (
+            len(self._heap) >= self.COMPACT_MIN_SIZE
+            and self._cancelled * 2 > len(self._heap)
+        ):
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
+            self._compactions += 1
 
     def call_later(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` after ``delay`` simulated seconds."""
@@ -114,6 +160,7 @@ class EventLoop:
             while self._heap and self._heap[0].time <= deadline:
                 event = heapq.heappop(self._heap)
                 if event.cancelled:
+                    self._cancelled -= 1
                     continue
                 self._now = event.time
                 self._processed += 1
@@ -135,6 +182,7 @@ class EventLoop:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = event.time
             self._processed += 1

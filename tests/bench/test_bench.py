@@ -84,7 +84,7 @@ def test_run_suites_rejects_unknown_suite(tmp_path):
 
 
 def test_suite_registry_is_complete():
-    assert set(SUITES) == {"sketch", "reconcile"}
+    assert set(SUITES) == {"sketch", "reconcile", "harness"}
 
 
 @pytest.mark.slow
@@ -94,10 +94,20 @@ def test_bench_cli_quick_emits_valid_files(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "suite: sketch" in out
     assert "suite: reconcile" in out
-    for suite in ("sketch", "reconcile"):
+    assert "suite: harness" in out
+    for suite in ("sketch", "reconcile", "harness"):
         path = tmp_path / f"BENCH_{suite}.json"
         assert path.exists()
         _check_schema(json.loads(path.read_text()), suite)
+
+
+@pytest.mark.slow
+def test_harness_suite_reports_sweep_identity(tmp_path):
+    payloads = run_suites(["harness"], quick=True, out_dir=str(tmp_path))
+    derived = payloads["harness"]["derived"]
+    assert derived["events_per_second"] > 0
+    assert derived["sweep_results_identical"] == 1.0
+    assert derived["sweep_tasks"] >= 4
 
 
 @pytest.mark.slow

@@ -1,0 +1,1 @@
+"""Tests for the multiprocess sweep engine (``repro.exec``)."""

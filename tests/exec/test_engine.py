@@ -1,0 +1,185 @@
+"""Tests for the sweep engine: merging, failures, crashes, timeouts.
+
+The crash/timeout experiments are module-level functions registered via
+:func:`register_experiment`; fork-started workers inherit the registry, so
+no importable plugin module is needed.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.exec import (
+    EXPERIMENTS,
+    derive_tasks,
+    map_points,
+    map_seeds,
+    register_experiment,
+    run_sweep,
+)
+
+
+def _fast_experiment(seed, **params):
+    return {"seed": seed, "square": seed * seed, **params}
+
+
+def _failing_experiment(seed, **params):
+    if params.get("boom"):
+        raise ValueError(f"boom at seed {seed}")
+    return {"seed": seed}
+
+
+def _crashing_experiment(seed, **params):
+    # Repetition 0 seeds stay alive; the derived second-repetition seed
+    # (base + 1000) kills its worker outright -- no exception, no cleanup,
+    # exactly what a segfault or OOM-kill looks like to the parent.  The
+    # delay before dying lets concurrently running innocent tasks (which
+    # return in microseconds) deliver their results first, keeping the
+    # collateral-damage pattern of each pool break deterministic.
+    if seed >= 1000:
+        time.sleep(0.25)
+        os._exit(3)
+    return {"seed": seed}
+
+
+def _sleeping_experiment(seed, sleep_s=0.0, **params):
+    time.sleep(sleep_s)
+    return {"seed": seed}
+
+
+@pytest.fixture(autouse=True)
+def _registered_probes():
+    probes = {
+        "probe_fast": _fast_experiment,
+        "probe_fail": _failing_experiment,
+        "probe_crash": _crashing_experiment,
+        "probe_sleep": _sleeping_experiment,
+    }
+    for name, fn in probes.items():
+        register_experiment(name, fn)
+    yield
+    for name in probes:
+        EXPERIMENTS.pop(name, None)
+
+
+def test_serial_sweep_merges_in_derivation_order():
+    tasks = derive_tasks("probe_fast", {"x": [1, 2]}, base_seed=3,
+                         repetitions=2)
+    outcome = run_sweep(tasks, workers=1)
+    assert [o.task.index for o in outcome.outcomes] == [0, 1, 2, 3]
+    assert all(o.ok for o in outcome.outcomes)
+    assert outcome.outcomes[0].result["square"] == 9
+    assert not outcome.failed()
+
+
+def test_parallel_merge_is_byte_identical_to_serial():
+    tasks = derive_tasks("probe_fast", {"x": [1, 2], "y": ["a"]},
+                         base_seed=11, repetitions=2)
+    serial = run_sweep(tasks, workers=1).results_bytes()
+    parallel = run_sweep(tasks, workers=4).results_bytes()
+    assert serial == parallel
+
+
+def test_results_doc_schema_and_determinism_split():
+    tasks = derive_tasks("probe_fast", {}, base_seed=5)
+    outcome = run_sweep(tasks, workers=1)
+    doc = outcome.results_doc()
+    assert doc["schema"] == "repro.sweep/1"
+    assert doc["tasks"][0]["ok"] is True
+    # Timing/placement must not leak into the deterministic document.
+    assert "seconds" not in doc["tasks"][0]
+    assert "worker_pid" not in doc["tasks"][0]
+    execution = outcome.execution_doc()
+    assert execution["schema"] == "repro.sweep-execution/1"
+    assert execution["tasks_total"] == 1
+    assert execution["tasks"][0]["seconds"] >= 0.0
+
+
+def test_raising_experiment_is_recorded_not_fatal():
+    tasks = derive_tasks("probe_fail", {"boom": [False, True]}, base_seed=2)
+    outcome = run_sweep(tasks, workers=2)
+    by_index = {o.task.index: o for o in outcome.outcomes}
+    assert by_index[0].ok
+    assert not by_index[1].ok
+    assert "boom at seed 2" in by_index[1].error
+    assert outcome.pool_rebuilds == 0  # an exception must not poison the pool
+
+
+def test_worker_crash_is_contained_and_retried():
+    # 2 grid points x 2 repetitions; the repetition-1 seed (>= 1000) makes
+    # its worker die via os._exit.  The engine must rebuild the pool,
+    # retry, and still complete every other task.
+    tasks = derive_tasks("probe_crash", {"x": [1, 2]}, base_seed=1,
+                         repetitions=2)
+    outcome = run_sweep(tasks, workers=2, retries=1)
+    assert len(outcome.outcomes) == 4
+    by_index = {o.task.index: o for o in outcome.outcomes}
+    crashed = [o for o in outcome.outcomes if o.task.seed >= 1000]
+    survived = [o for o in outcome.outcomes if o.task.seed < 1000]
+    assert all(not o.ok for o in crashed)
+    assert all("crash" in o.error.lower() or "abandoned" in o.error
+               for o in crashed)
+    # retries=1 normal attempts + the one post-budget grace requeue that
+    # protects innocent bystanders of a pool break -> 3 attempts total.
+    assert all(o.attempts == 3 for o in crashed)
+    assert all(o.ok for o in survived)
+    assert outcome.pool_rebuilds >= 1
+    assert sorted(by_index) == [0, 1, 2, 3]
+
+
+def test_in_worker_timeout_records_timeout():
+    tasks = derive_tasks("probe_sleep", {"sleep_s": [5.0]}, base_seed=9)
+    start = time.perf_counter()
+    outcome = run_sweep(tasks, workers=2, timeout_s=0.5, retries=0)
+    elapsed = time.perf_counter() - start
+    assert elapsed < 5.0  # SIGALRM interrupted the sleep
+    assert len(outcome.outcomes) == 1
+    assert not outcome.outcomes[0].ok
+    assert outcome.outcomes[0].timeout
+
+
+def test_write_run_dir(tmp_path):
+    tasks = derive_tasks("probe_fast", {}, base_seed=4)
+    outcome = run_sweep(tasks, workers=1)
+    paths = outcome.write_run_dir(str(tmp_path / "run"))
+    with open(paths["results"], "rb") as stream:
+        assert stream.read() == outcome.results_bytes()
+    with open(paths["execution"], encoding="utf-8") as stream:
+        assert json.load(stream)["schema"] == "repro.sweep-execution/1"
+
+
+def test_per_task_traces_collected(tmp_path):
+    trace_dir = str(tmp_path / "traces")
+    tasks = derive_tasks("run", {"num_nodes": [6]}, base_seed=13)
+    outcome = run_sweep(tasks, workers=1, trace_dir=trace_dir)
+    assert outcome.outcomes[0].ok
+    path = outcome.outcomes[0].trace_path
+    assert path and os.path.exists(path)
+    with open(path, encoding="utf-8") as stream:
+        header = json.loads(stream.readline())
+    assert header["schema"] == "repro.trace/1"
+
+
+def _square(x):
+    return x * x
+
+
+def _seeded(seed):
+    return {"seed": seed, "value": seed * 2}
+
+
+def test_map_points_preserves_order():
+    calls = [{"x": i} for i in range(6)]
+    serial = map_points(_square, calls, workers=1)
+    parallel = map_points(_square, calls, workers=3)
+    assert serial == parallel == [0, 1, 4, 9, 16, 25]
+
+
+def test_map_seeds_preserves_order():
+    seeds = [7, 1007, 2007]
+    serial = map_seeds(_seeded, seeds, workers=1)
+    parallel = map_seeds(_seeded, seeds, workers=3)
+    assert serial == parallel
+    assert [r["seed"] for r in parallel] == seeds

@@ -137,3 +137,88 @@ def test_processed_events_counter():
         loop.call_later(1.0, lambda: None)
     loop.run_until(2.0)
     assert loop.processed_events == 5
+
+
+# ------------------------------------------------- cancelled-event accounting
+
+
+def test_pending_events_excludes_cancelled():
+    loop = EventLoop()
+    events = [loop.call_later(float(i + 1), lambda: None) for i in range(5)]
+    assert loop.pending_events == 5
+    events[0].cancel()
+    events[3].cancel()
+    assert loop.pending_events == 3
+
+
+def test_cancel_is_idempotent_in_accounting():
+    loop = EventLoop()
+    event = loop.call_later(1.0, lambda: None)
+    loop.call_later(2.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    event.cancel()
+    assert loop.pending_events == 1
+
+
+def test_heap_compacts_when_tombstones_dominate():
+    loop = EventLoop()
+    keep = 40
+    cancel = 80  # majority cancelled, heap comfortably above the minimum
+    kept = [loop.call_later(1000.0 + i, lambda: None) for i in range(keep)]
+    doomed = [loop.call_later(2000.0 + i, lambda: None) for i in range(cancel)]
+    assert loop.heap_size == keep + cancel
+    for event in doomed:
+        event.cancel()
+    # The cancelled fraction crossed 50% part-way through; a rebuild must
+    # have shed the tombstones accumulated so far instead of waiting for
+    # their (far-future) timestamps to be popped.  Cancellations after the
+    # rebuild may linger, but never enough to dominate again.
+    assert loop.compactions >= 1
+    assert loop.pending_events == keep
+    assert loop.heap_size < keep + cancel
+    tombstones = loop.heap_size - loop.pending_events
+    assert tombstones * 2 <= loop.heap_size
+    assert all(not e.cancelled for e in kept)
+
+
+def test_no_compaction_below_min_size():
+    loop = EventLoop()
+    events = [loop.call_later(100.0 + i, lambda: None) for i in range(10)]
+    for event in events[:9]:
+        event.cancel()
+    assert loop.compactions == 0          # tiny heaps are left alone
+    assert loop.heap_size == 10           # tombstones still in place
+    assert loop.pending_events == 1
+
+
+def test_events_still_run_in_order_after_compaction():
+    loop = EventLoop()
+    seen = []
+    live = []
+    for i in range(64):
+        if i % 2:
+            live.append((i, loop.call_later(float(i + 1), seen.append, i)))
+        else:
+            loop.call_later(float(i + 1), seen.append, i)
+    doomed = [e for i, e in live]  # cancel every odd-timed event
+    for event in doomed:
+        event.cancel()
+    extra = [loop.call_later(500.0, lambda: None) for _ in range(80)]
+    for event in extra:
+        event.cancel()
+    assert loop.compactions >= 1
+    loop.run_until(100.0)
+    assert seen == [i for i in range(64) if i % 2 == 0]
+    assert loop.pending_events == 0
+
+
+def test_popping_tombstones_keeps_accounting_consistent():
+    loop = EventLoop()
+    events = [loop.call_later(float(i + 1), lambda: None) for i in range(6)]
+    for event in events[::2]:
+        event.cancel()
+    loop.run_until(10.0)  # pops the tombstones without compaction
+    assert loop.pending_events == 0
+    assert loop.heap_size == 0
+    assert loop.processed_events == 3

@@ -54,3 +54,58 @@ def test_memory_command(capsys):
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_sweep_command_json_and_run_dir(tmp_path, capsys):
+    out_dir = tmp_path / "run"
+    out_json = tmp_path / "merged.json"
+    code = main([
+        "sweep", "run",
+        "--param", "num_nodes=6,8", "--param", "rate_per_s=3.0",
+        "--param", "duration_s=1.0", "--param", "drain_s=1.0",
+        "--repetitions", "1", "--workers", "1",
+        "--out-dir", str(out_dir), "--json", str(out_json),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "2 tasks" in out and "0 failed" in out
+    merged = json.loads(out_json.read_text())
+    assert merged["schema"] == "repro.sweep/1"
+    assert [t["params"]["num_nodes"] for t in merged["tasks"]] == [6, 8]
+    assert all(t["ok"] for t in merged["tasks"])
+    assert (out_dir / "sweep.json").read_bytes() == out_json.read_bytes()
+    execution = json.loads((out_dir / "execution.json").read_text())
+    assert execution["schema"] == "repro.sweep-execution/1"
+
+
+def test_sweep_check_serial_byte_identity(tmp_path, capsys):
+    code = main([
+        "sweep", "run",
+        "--param", "num_nodes=6", "--param", "rate_per_s=3.0",
+        "--param", "duration_s=1.0", "--param", "drain_s=1.0",
+        "--repetitions", "2", "--workers", "2", "--check-serial",
+    ])
+    assert code == 0
+    assert "results identical" in capsys.readouterr().out
+
+
+def test_sweep_rejects_unknown_experiment(capsys):
+    assert main(["sweep", "nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_sweep_rejects_malformed_param():
+    with pytest.raises(SystemExit):
+        main(["sweep", "run", "--param", "num_nodes"])
+
+
+def test_sweep_task_traces_require_out_dir(capsys):
+    assert main(["sweep", "run", "--task-traces"]) == 2
+    assert "--task-traces requires --out-dir" in capsys.readouterr().err
+
+
+def test_experiment_verbs_accept_workers(capsys):
+    # --workers must parse on every experiment verb (uniform interface).
+    code = main(["fig10", "--nodes", "10", "--duration", "8",
+                 "--workloads", "120", "--workers", "2"])
+    assert code == 0

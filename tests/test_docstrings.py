@@ -31,6 +31,7 @@ DOCUMENTED_PACKAGES = [
     "repro.testing",
     "repro.bench",
     "repro.metrics",
+    "repro.exec",
 ]
 
 

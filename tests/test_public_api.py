@@ -38,6 +38,11 @@ PUBLIC_MODULES = [
     "repro.bench",
     "repro.bench.runner",
     "repro.bench.suites",
+    "repro.bench.harness",
+    "repro.exec",
+    "repro.exec.tasks",
+    "repro.exec.worker",
+    "repro.exec.engine",
     "repro.experiments",
     "repro.experiments.fig6_detection",
     "repro.experiments.fig7_mempool_latency",
