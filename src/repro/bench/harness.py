@@ -19,7 +19,12 @@ Derived metrics:
 * ``sweep_workers`` -- the N used (min(4, cpu count));
 * ``sweep_results_identical`` -- 1.0 iff the parallel merge was
   byte-identical to the serial document (a 0.0 is a bug, not a perf
-  regression).
+  regression);
+* ``spool_resume_overhead_s`` -- wall cost of resuming a fully drained
+  spool (``repro.exec.spool``): the fixed scan-and-merge price an
+  interrupted sweep pays on restart, with zero task re-execution;
+* ``spool_results_identical`` -- 1.0 iff the spool-backed merge matched
+  the serial document byte for byte.
 """
 
 from __future__ import annotations
@@ -122,6 +127,34 @@ def harness_suite(quick: bool = False, seed: int = 42) -> SuiteOutput:
             serial_case.seconds_per_op / parallel_case.seconds_per_op
         )
     derived["sweep_results_identical"] = float(merged[1] == merged[workers])
+
+    # --- spool backend: durable-run overhead + resume cost -------------
+    # A completed spool makes ``resume`` a pure skip-and-merge pass (scan
+    # the directory, read every result, reassemble the document) -- the
+    # fixed price an interrupted sweep pays on restart, with zero task
+    # re-execution.  ``spool_resume_overhead_s`` tracks that price.
+    import tempfile
+
+    from repro.exec.spool import run_spool_sweep
+
+    with tempfile.TemporaryDirectory() as spool_root:
+        spool_dir = os.path.join(spool_root, "spool")
+        spool_outcome = run_spool_sweep(spool_dir, tasks, workers=1)
+        resume_case = bench_case(
+            f"sweep/spool_resume/tasks={len(tasks)}",
+            lambda: run_spool_sweep(spool_dir, tasks, workers=1,
+                                    resume=True),
+            params={"tasks": len(tasks), "grid": grid,
+                    "repetitions": repetitions},
+            iterations=1, repeats=repeats, ops_per_call=len(tasks),
+        )
+    results.append(resume_case)
+    derived["spool_resume_overhead_s"] = (
+        resume_case.seconds_per_op * len(tasks)
+    )
+    derived["spool_results_identical"] = float(
+        spool_outcome.results_bytes() == merged[1]
+    )
 
     params = {"quick": quick, "seed": seed, "sim": sim_kwargs,
               "grid": grid, "repetitions": repetitions, "workers": workers}

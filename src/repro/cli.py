@@ -136,7 +136,8 @@ def cmd_fig7(args) -> int:
     from repro.experiments.fig7_mempool_latency import run_fig7
 
     result = run_fig7(num_nodes=args.nodes, tx_rate_per_s=args.rate,
-                      workload_duration_s=args.duration, seed=args.seed)
+                      workload_duration_s=args.duration, seed=args.seed,
+                      repetitions=args.repetitions, workers=args.workers)
     rows = [(k, f"{v:.3f}") for k, v in result.summary.items()]
     print(format_table(("metric", "value"), rows))
     _emit(result, args, "fig7")
@@ -217,13 +218,21 @@ def cmd_memory(args) -> int:
 
 
 def cmd_cpu(args) -> int:
-    from repro.experiments.sec65_cpu import run_cpu_comparison
+    from repro.experiments.sec65_cpu import run_cpu_comparison, run_cpu_sweep
 
-    result = run_cpu_comparison(difference=args.difference,
-                                partition_capacity=args.capacity,
-                                seed=args.seed)
-    rows = [(result.difference, f"{result.naive_seconds:.3f}",
-             f"{result.partitioned_seconds:.3f}", f"{result.speedup:.1f}x")]
+    if args.differences:
+        result = run_cpu_sweep(args.differences,
+                               partition_capacity=args.capacity,
+                               seed=args.seed, workers=args.workers)
+        points = result.points
+    else:
+        result = run_cpu_comparison(difference=args.difference,
+                                    partition_capacity=args.capacity,
+                                    seed=args.seed)
+        points = [result]
+    rows = [(p.difference, f"{p.naive_seconds:.3f}",
+             f"{p.partitioned_seconds:.3f}", f"{p.speedup:.1f}x")
+            for p in points]
     print(format_table(
         ("difference", "naive_s", "partitioned_s", "speedup"), rows
     ))
@@ -293,18 +302,43 @@ def cmd_sweep(args) -> int:
     if args.task_traces and not args.out_dir:
         print("--task-traces requires --out-dir", file=sys.stderr)
         return 2
+    if args.resume and not args.spool:
+        print("--resume requires --spool DIR", file=sys.stderr)
+        return 2
     grid = _parse_grid(args.param or [])
     tasks = derive_tasks(args.experiment, grid, base_seed=args.seed,
                          repetitions=args.repetitions)
     trace_dir = args.out_dir if args.task_traces else None
-    outcome = run_sweep(
-        tasks, workers=args.workers, timeout_s=args.timeout,
-        retries=args.retries, trace_dir=trace_dir,
-    )
+    if args.spool:
+        from repro.exec import SpoolConfig, SpoolError, run_spool_sweep
+
+        config = SpoolConfig(
+            heartbeat_s=args.heartbeat,
+            lease_timeout_s=args.lease_timeout,
+            max_attempts=args.max_attempts,
+        )
+        try:
+            outcome = run_spool_sweep(
+                args.spool, tasks, workers=args.workers, config=config,
+                resume=args.resume, timeout_s=args.timeout,
+                trace_dir=trace_dir,
+                meta={"experiment": args.experiment, "grid": grid,
+                      "base_seed": args.seed,
+                      "repetitions": args.repetitions},
+            )
+        except SpoolError as exc:
+            print(f"spool error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        outcome = run_sweep(
+            tasks, workers=args.workers, timeout_s=args.timeout,
+            retries=args.retries, trace_dir=trace_dir,
+        )
     rows = [
         (o.task.index, o.task.seed, o.task.repetition,
          " ".join(f"{k}={v}" for k, v in sorted(o.task.params.items())) or "-",
-         "ok" if o.ok else "FAIL", f"{o.seconds:.2f}", o.attempts)
+         "ok" if o.ok else ("PARK" if o.parked else "FAIL"),
+         f"{o.seconds:.2f}", o.attempts)
         for o in outcome.outcomes
     ]
     print(format_table(
@@ -315,9 +349,19 @@ def cmd_sweep(args) -> int:
           f" {len(outcome.failed())} failed"
           + (f", {outcome.pool_rebuilds} pool rebuild(s)"
              if outcome.pool_rebuilds else "") + "]")
-    for failed in outcome.failed():
-        print(f"  task {failed.task.index} failed: {failed.error}",
+    if outcome.spool is not None:
+        s = outcome.spool
+        print(f"[spool {args.spool}: {s['completed']}/{s['tasks_total']}"
+              f" completed, {s['attempts']} attempt(s),"
+              f" {s['reclaims']} reclaim(s), {s['parked']} parked,"
+              f" {s.get('worker_restarts', 0)} worker restart(s)]")
+    for parked in outcome.parked():
+        print(f"  task {parked.task.index} PARKED: {parked.error}",
               file=sys.stderr)
+    for failed in outcome.failed():
+        if not failed.parked:
+            print(f"  task {failed.task.index} failed: {failed.error}",
+                  file=sys.stderr)
 
     if args.out_dir:
         paths = outcome.write_run_dir(args.out_dir)
@@ -468,7 +512,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=80)
     p.add_argument("--rate", type=float, default=20.0)
     p.add_argument("--duration", type=float, default=20.0)
-    _add_common(p, sweeps=False)
+    p.add_argument("--repetitions", type=int, default=1,
+                   help="repeat at derived seeds and pool the samples"
+                        " (paper: 10)")
+    _add_common(p)
     p.set_defaults(func=cmd_fig7)
 
     p = sub.add_parser("fig8", help="FIFO vs Highest-Fee block latency")
@@ -504,8 +551,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("cpu", help="naive vs partitioned decode timing")
     p.add_argument("--difference", type=int, default=128)
+    p.add_argument("--differences", type=int, nargs="*", default=[],
+                   help="sweep several difference sizes (one row each);"
+                        " overrides --difference and honours --workers")
     p.add_argument("--capacity", type=int, default=16)
-    _add_common(p, sweeps=False)
+    _add_common(p)
     p.set_defaults(func=cmd_cpu)
 
     p = sub.add_parser(
@@ -529,7 +579,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-task wall-clock budget; timed-out tasks are"
                         " retried, then recorded as failures")
     p.add_argument("--retries", type=int, default=1,
-                   help="extra attempts after a crash/timeout (default 1)")
+                   help="extra attempts after a crash/timeout (default 1;"
+                        " spool runs use --max-attempts instead)")
+    p.add_argument("--spool", type=str, default=None, metavar="DIR",
+                   help="durable spool directory: tasks/leases/results live"
+                        " as atomically-published files, so the sweep"
+                        " survives worker and coordinator crashes and"
+                        " multiple hosts can share one directory"
+                        " (see docs/parallelism.md)")
+    p.add_argument("--resume", action="store_true",
+                   help="continue an interrupted --spool run: completed"
+                        " task indices are skipped, stale leases reclaimed")
+    p.add_argument("--heartbeat", type=float, default=5.0, metavar="S",
+                   help="spool lease heartbeat interval (default 5s)")
+    p.add_argument("--lease-timeout", type=float, default=None, metavar="S",
+                   help="spool lease staleness threshold (default"
+                        " 3 x heartbeat)")
+    p.add_argument("--max-attempts", type=int, default=3,
+                   help="spool per-task attempt budget before the task is"
+                        " parked (default 3)")
     p.add_argument("--out-dir", type=str, default=None,
                    help="run directory for sweep.json + execution.json"
                         " (+ per-task traces with --task-traces)")

@@ -14,11 +14,19 @@ serial run:
 * :func:`map_points` / :func:`map_seeds` -- the thin fan-out primitives
   behind the experiment runners' and :func:`repeat_scalar`'s ``workers``
   parameter;
-* :func:`register_experiment` -- add custom sweepable entry points.
+* :func:`register_experiment` -- add custom sweepable entry points;
+* :func:`run_spool_sweep` / :mod:`repro.exec.spool` -- the durable,
+  crash-resumable backend: tasks, leases and results live as atomically
+  published files in a spool directory, workers claim via exclusive
+  lease files with heartbeats, stale leases are reclaimed under a
+  retry/backoff budget, and an interrupted sweep resumes (skipping
+  completed indices) to a merged document byte-identical to the
+  uninterrupted serial run.
 
 Shell entry point: ``python -m repro sweep`` (plus ``--workers`` on every
-experiment verb).  See ``docs/parallelism.md`` for the execution model
-and the determinism argument.
+experiment verb and ``--spool DIR`` / ``--resume`` for durable runs).
+See ``docs/parallelism.md`` for the execution model and the determinism
+argument.
 """
 
 from repro.exec.engine import (
@@ -27,6 +35,18 @@ from repro.exec.engine import (
     map_points,
     map_seeds,
     run_sweep,
+)
+from repro.exec.spool import (
+    SpoolConfig,
+    SpoolError,
+    collect_outcomes,
+    collect_spool_metrics,
+    init_spool,
+    load_manifest,
+    reclaim_stale,
+    run_spool_sweep,
+    spool_status,
+    spool_worker_loop,
 )
 from repro.exec.tasks import (
     EXPERIMENTS,
@@ -40,16 +60,26 @@ from repro.exec.worker import execute_task, reset_worker_state
 
 __all__ = [
     "EXPERIMENTS",
+    "SpoolConfig",
+    "SpoolError",
     "SweepOutcome",
     "SweepTask",
     "TaskOutcome",
+    "collect_outcomes",
+    "collect_spool_metrics",
     "derive_tasks",
     "execute_task",
     "expand_grid",
     "experiment_names",
+    "init_spool",
+    "load_manifest",
     "map_points",
     "map_seeds",
+    "reclaim_stale",
     "register_experiment",
     "reset_worker_state",
+    "run_spool_sweep",
     "run_sweep",
+    "spool_status",
+    "spool_worker_loop",
 ]

@@ -57,6 +57,7 @@ class TaskOutcome:
     attempts: int = 1
     worker_pid: Optional[int] = None
     trace_path: Optional[str] = None
+    parked: bool = False  # spool runs: retry budget exhausted (degraded)
 
     def result_record(self) -> Dict[str, Any]:
         """The deterministic (execution-independent) merge record."""
@@ -84,6 +85,8 @@ class TaskOutcome:
         }
         if self.timeout:
             record["timeout"] = True
+        if self.parked:
+            record["parked"] = True
         if self.trace_path:
             record["trace_path"] = self.trace_path
         return record
@@ -97,10 +100,15 @@ class SweepOutcome:
     workers: int = 1
     wall_seconds: float = 0.0
     pool_rebuilds: int = 0
+    spool: Optional[Dict[str, Any]] = None  # spool-backed runs: status scan
 
     def failed(self) -> List[TaskOutcome]:
         """Outcomes that did not produce a result."""
         return [o for o in self.outcomes if not o.ok]
+
+    def parked(self) -> List[TaskOutcome]:
+        """Spool outcomes that exhausted their retry budget (degraded)."""
+        return [o for o in self.outcomes if o.parked]
 
     def results_doc(self) -> Dict[str, Any]:
         """The deterministic merged document (schema ``repro.sweep/1``).
@@ -108,12 +116,19 @@ class SweepOutcome:
         Contains only data derived from the task list and the task
         results; wall-clock, pids and retry counts live in
         :meth:`execution_doc` so this document is byte-identical between
-        serial and parallel runs of the same sweep.
+        serial and parallel runs of the same sweep.  A degraded
+        spool-backed run adds a ``parked`` index list -- only when
+        non-empty, so a clean run (every task completed) stays
+        byte-identical to the uninterrupted serial document.
         """
-        return {
+        doc: Dict[str, Any] = {
             "schema": "repro.sweep/1",
             "tasks": [o.result_record() for o in self.outcomes],
         }
+        parked = [o.task.index for o in self.parked()]
+        if parked:
+            doc["parked"] = parked
+        return doc
 
     def results_bytes(self) -> bytes:
         """Canonical JSON serialisation of :meth:`results_doc`."""
@@ -122,17 +137,31 @@ class SweepOutcome:
         ).encode("utf-8")
 
     def execution_doc(self) -> Dict[str, Any]:
-        """Timings and placement: everything the results doc excludes."""
-        return {
+        """Timings and placement: everything the results doc excludes.
+
+        Degradation is first-class here: ``tasks_retried`` /
+        ``attempts_total`` expose the engine's retry/requeue activity, and
+        spool-backed runs attach the spool's ground-truth lifecycle scan
+        (claims, reclaims, parked tasks, worker restarts) under ``spool``
+        so operators see recovery work instead of inferring it from wall
+        time.
+        """
+        doc: Dict[str, Any] = {
             "schema": "repro.sweep-execution/1",
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
             "pool_rebuilds": self.pool_rebuilds,
             "tasks_total": len(self.outcomes),
             "tasks_failed": len(self.failed()),
+            "tasks_retried": sum(1 for o in self.outcomes if o.attempts > 1),
+            "tasks_parked": len(self.parked()),
+            "attempts_total": sum(o.attempts for o in self.outcomes),
             "task_seconds_total": sum(o.seconds for o in self.outcomes),
             "tasks": [o.execution_record() for o in self.outcomes],
         }
+        if self.spool is not None:
+            doc["spool"] = dict(self.spool)
+        return doc
 
     def write_run_dir(self, run_dir: str) -> Dict[str, str]:
         """Write ``sweep.json`` + ``execution.json`` into ``run_dir``.

@@ -1,0 +1,750 @@
+"""Durable, crash-resumable sweep execution over a filesystem spool.
+
+:func:`repro.exec.engine.run_sweep` contains crashes *within* one process
+-pool lifetime; nothing survives the death of the coordinator itself.  This
+module makes the sweep state durable: every task, claim and result is a
+file in a *spool directory*, written with atomic primitives, so a
+``kill -9`` of any participant -- worker or coordinator -- at any instant
+leaves the spool recoverable and ``run_spool_sweep(..., resume=True)``
+picks up exactly where the dead run stopped.  Because the spool is just a
+directory, several hosts pointing at a shared mount cooperate on one sweep
+with no coordinator process at all.
+
+Spool layout (on-disk schema ``repro.sweep-spool/1``)::
+
+    SPOOL/
+      manifest.json          # written last at init: task count + fingerprint
+      tasks/task-00000.json  # one immutable task spec per file
+      leases/task-00000.json # exclusive claim: owner + heartbeat timestamps
+      state/task-00000.json  # attempts / reclaims / retry-backoff eligibility
+      results/task-00000.json# the worker payload, atomically renamed in
+      parked/task-00000.json # exhausted the retry budget; recorded, not fatal
+
+Correctness rests on three filesystem primitives:
+
+* **atomic publish** -- task specs, results, state and parked markers are
+  written to a temp file and ``os.replace``d into place, so readers never
+  observe a partial document;
+* **exclusive claim** -- a lease is created with ``os.link`` from a fully
+  written temp file (atomic create-if-absent, the classic NFS-safe lock
+  pattern), so exactly one claimant wins even across hosts;
+* **atomic removal** -- ``os.unlink`` of a stale lease succeeds for
+  exactly one reclaimer, which serialises the requeue-or-park decision.
+
+Liveness comes from heartbeats: a claimant renews its lease's
+``heartbeat_unix`` every ``heartbeat_s`` from a daemon thread; any
+participant's :func:`reclaim_stale` pass removes leases whose heartbeat is
+older than ``lease_timeout_s``, requeues the task under an exponential
+backoff, and *parks* tasks that exhaust ``max_attempts`` -- graceful
+degradation, recorded in the merged document instead of aborting the run.
+
+Results are pure functions of the task spec, so the duplicated execution a
+lost-then-reclaimed lease can cause is benign: both writers publish the
+identical payload.  Counters (claims / completions / reclaims / parks) are
+best-effort under concurrent reclaimers; the files are the ground truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.exec.tasks import SweepTask
+
+SPOOL_SCHEMA = "repro.sweep-spool/1"
+
+_DIRS = ("tasks", "leases", "state", "results", "parked")
+
+
+class SpoolError(RuntimeError):
+    """A spool directory is missing, mismatched, or already in use."""
+
+
+@dataclass(frozen=True)
+class SpoolConfig:
+    """Tuning knobs for lease liveness and the retry budget.
+
+    ``lease_timeout_s`` defaults to ``3 x heartbeat_s``: one missed
+    heartbeat is scheduler noise, three is a dead claimant.  The retry
+    delay for attempt *n* is ``backoff_base_s * 2**(n-1)`` capped at
+    ``backoff_cap_s``.
+    """
+
+    heartbeat_s: float = 5.0
+    lease_timeout_s: Optional[float] = None
+    max_attempts: int = 3
+    backoff_base_s: float = 1.0
+    backoff_cap_s: float = 60.0
+    poll_s: float = 0.2
+
+    @property
+    def effective_lease_timeout_s(self) -> float:
+        """The staleness threshold: explicit, or ``3 x heartbeat_s``."""
+        if self.lease_timeout_s is not None:
+            return self.lease_timeout_s
+        return 3.0 * self.heartbeat_s
+
+    def backoff_s(self, attempts: int) -> float:
+        """Retry delay after ``attempts`` completed attempts."""
+        return min(
+            self.backoff_cap_s,
+            self.backoff_base_s * (2.0 ** max(0, attempts - 1)),
+        )
+
+
+# ------------------------------------------------------- lifecycle counters
+
+#: In-process spool lifecycle counters, exposed to
+#: :class:`repro.obs.MetricsRegistry` via :func:`collect_spool_metrics`.
+#: They count *this process's* actions; for the cross-process/cross-host
+#: totals scan the spool itself (:func:`spool_status`).
+SPOOL_COUNTERS: Dict[str, int] = {}
+
+
+def _count(name: str, by: int = 1) -> None:
+    SPOOL_COUNTERS[name] = SPOOL_COUNTERS.get(name, 0) + by
+
+
+def collect_spool_metrics() -> Dict[str, int]:
+    """Snapshot of this process's spool counters (an obs collector).
+
+    Register with ``registry.register_collector("spool",
+    collect_spool_metrics)`` to fold ``spool.claimed`` /
+    ``spool.completed`` / ``spool.reclaimed`` / ``spool.parked`` /
+    ``spool.heartbeats`` into a metrics snapshot.
+    """
+    return dict(SPOOL_COUNTERS)
+
+
+def reset_spool_counters() -> None:
+    """Zero the in-process counters (fresh runs, tests)."""
+    SPOOL_COUNTERS.clear()
+
+
+# ------------------------------------------------------------------- paths
+
+
+def _manifest_path(spool_dir: str) -> str:
+    return os.path.join(spool_dir, "manifest.json")
+
+
+def _entry_path(spool_dir: str, kind: str, index: int) -> str:
+    return os.path.join(spool_dir, kind, f"task-{index:05d}.json")
+
+
+def _index_of(filename: str) -> int:
+    return int(filename[len("task-"):-len(".json")])
+
+
+def _write_atomic(path: str, payload: Dict[str, Any]) -> None:
+    """Publish ``payload`` at ``path`` via temp-file + ``os.replace``."""
+    tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+    with open(tmp, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    os.replace(tmp, path)
+
+
+def _read_json(path: str) -> Optional[Dict[str, Any]]:
+    """Load a spool JSON file; ``None`` when absent or mid-replace."""
+    try:
+        with open(path, encoding="utf-8") as stream:
+            return json.load(stream)
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError):
+        # A reader racing a writer on a non-atomic filesystem; the next
+        # pass sees the completed replace.
+        return None
+
+
+def default_owner() -> str:
+    """A claimant identity unique across hosts and processes."""
+    return f"{socket.gethostname()}:{os.getpid()}:{threading.get_ident()}"
+
+
+# -------------------------------------------------------------- init / load
+
+
+def task_fingerprint(tasks: Sequence[SweepTask]) -> str:
+    """Content hash of the deterministic task list.
+
+    Stored in the manifest and checked on resume, so a spool can never be
+    silently continued with a different sweep definition.
+    """
+    canonical = json.dumps([t.spec() for t in tasks], sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def init_spool(
+    spool_dir: str,
+    tasks: Sequence[SweepTask],
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Create a spool directory and publish every task spec into it.
+
+    The manifest is written *last*: its presence marks a fully initialised
+    spool, so an init interrupted mid-way is indistinguishable from no
+    spool at all and is simply re-run.
+    """
+    if not tasks:
+        raise ValueError("cannot spool an empty task list")
+    if os.path.exists(_manifest_path(spool_dir)):
+        raise SpoolError(
+            f"spool {spool_dir!r} already initialised; pass resume=True"
+            " to continue it"
+        )
+    for sub in _DIRS:
+        os.makedirs(os.path.join(spool_dir, sub), exist_ok=True)
+    for task in tasks:
+        _write_atomic(_entry_path(spool_dir, "tasks", task.index), task.spec())
+    manifest = {
+        "schema": SPOOL_SCHEMA,
+        "created_unix": int(time.time()),
+        "tasks_total": len(tasks),
+        "fingerprint": task_fingerprint(tasks),
+        "meta": dict(meta or {}),
+    }
+    _write_atomic(_manifest_path(spool_dir), manifest)
+    return manifest
+
+
+def load_manifest(spool_dir: str) -> Dict[str, Any]:
+    """Read the manifest; raises :class:`SpoolError` when absent."""
+    manifest = _read_json(_manifest_path(spool_dir))
+    if manifest is None:
+        raise SpoolError(f"no spool manifest in {spool_dir!r}")
+    if manifest.get("schema") != SPOOL_SCHEMA:
+        raise SpoolError(
+            f"unexpected spool schema {manifest.get('schema')!r}"
+            f" (want {SPOOL_SCHEMA})"
+        )
+    return manifest
+
+
+def load_tasks(spool_dir: str) -> List[SweepTask]:
+    """Rebuild the task list from the spooled specs, in index order."""
+    manifest = load_manifest(spool_dir)
+    tasks: List[SweepTask] = []
+    for index in range(manifest["tasks_total"]):
+        spec = _read_json(_entry_path(spool_dir, "tasks", index))
+        if spec is None:
+            raise SpoolError(f"spool task file missing for index {index}")
+        tasks.append(SweepTask(
+            index=spec["index"], experiment=spec["experiment"],
+            seed=spec["seed"], repetition=spec["repetition"],
+            params=spec["params"],
+        ))
+    return tasks
+
+
+# ----------------------------------------------------------- claim / lease
+
+
+def _read_state(spool_dir: str, index: int) -> Dict[str, Any]:
+    state = _read_json(_entry_path(spool_dir, "state", index))
+    return state or {"attempts": 0, "reclaims": 0,
+                     "next_eligible_unix": 0.0, "last_error": None}
+
+
+def claim_task(
+    spool_dir: str,
+    index: int,
+    owner: str,
+    config: SpoolConfig,
+    now: Optional[float] = None,
+) -> Optional[Dict[str, Any]]:
+    """Try to claim task ``index``; the lease dict on success, else ``None``.
+
+    The claim is an ``os.link`` of a fully written temp file to the lease
+    path -- atomic create-if-absent even on shared mounts, so concurrent
+    claimants cannot both win.  A successful claimant immediately bumps
+    the state file's attempt counter (it owns the task, so the write is
+    race-free against other claimants; only a racing *reclaimer* of a
+    previous stale lease can interleave, which at worst under-counts).
+    """
+    now = time.time() if now is None else now
+    if os.path.exists(_entry_path(spool_dir, "results", index)):
+        return None
+    if os.path.exists(_entry_path(spool_dir, "parked", index)):
+        return None
+    state = _read_state(spool_dir, index)
+    if state["next_eligible_unix"] > now:
+        return None
+    lease_path = _entry_path(spool_dir, "leases", index)
+    lease = {
+        "index": index,
+        "owner": owner,
+        "claimed_unix": now,
+        "heartbeat_unix": now,
+        "attempt": state["attempts"] + 1,
+    }
+    tmp = f"{lease_path}.claim.{os.getpid()}.{threading.get_ident()}"
+    with open(tmp, "w", encoding="utf-8") as stream:
+        json.dump(lease, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    try:
+        os.link(tmp, lease_path)
+    except FileExistsError:
+        return None
+    finally:
+        os.unlink(tmp)
+    # A result may have been published between the scan and the claim
+    # (another owner finishing just as its lease expired): yield to it.
+    if os.path.exists(_entry_path(spool_dir, "results", index)):
+        release_lease(spool_dir, index)
+        return None
+    state["attempts"] += 1
+    _write_atomic(_entry_path(spool_dir, "state", index), state)
+    _count("claimed")
+    return lease
+
+
+def heartbeat_lease(spool_dir: str, index: int, owner: str,
+                    now: Optional[float] = None) -> None:
+    """Renew a held lease's heartbeat (atomic rewrite)."""
+    now = time.time() if now is None else now
+    lease_path = _entry_path(spool_dir, "leases", index)
+    lease = _read_json(lease_path)
+    if lease is None or lease.get("owner") != owner:
+        return  # reclaimed out from under us; the task will be re-run
+    lease["heartbeat_unix"] = now
+    _write_atomic(lease_path, lease)
+    _count("heartbeats")
+
+
+def release_lease(spool_dir: str, index: int) -> None:
+    """Drop a lease (idempotent)."""
+    try:
+        os.unlink(_entry_path(spool_dir, "leases", index))
+    except FileNotFoundError:
+        pass
+
+
+class _Heartbeat:
+    """Daemon thread renewing one lease every ``heartbeat_s``."""
+
+    def __init__(self, spool_dir: str, index: int, owner: str,
+                 interval_s: float):
+        self._spool_dir = spool_dir
+        self._index = index
+        self._owner = owner
+        self._interval_s = interval_s
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"spool-heartbeat-{index}", daemon=True
+        )
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=self._interval_s + 1.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            try:
+                heartbeat_lease(self._spool_dir, self._index, self._owner)
+            except OSError:  # a transient mount hiccup must not kill the task
+                pass
+
+
+# -------------------------------------------------------- reclaim / park
+
+
+def park_task(spool_dir: str, index: int, error: str,
+              attempts: int, timeout: bool = False) -> None:
+    """Record a task as permanently out of budget (idempotent)."""
+    _write_atomic(_entry_path(spool_dir, "parked", index), {
+        "index": index,
+        "attempts": attempts,
+        "error": error,
+        "timeout": timeout,
+        "parked_unix": time.time(),
+    })
+    release_lease(spool_dir, index)
+    _count("parked")
+
+
+def _requeue_or_park(spool_dir: str, index: int, error: str,
+                     config: SpoolConfig, now: float,
+                     timeout: bool = False, reclaim: bool = False) -> None:
+    """After a failed/expired attempt: back off for retry, or park."""
+    state = _read_state(spool_dir, index)
+    state["last_error"] = error
+    if reclaim:
+        state["reclaims"] += 1
+    if state["attempts"] >= config.max_attempts:
+        _write_atomic(_entry_path(spool_dir, "state", index), state)
+        park_task(spool_dir, index, error, state["attempts"], timeout)
+    else:
+        state["next_eligible_unix"] = now + config.backoff_s(state["attempts"])
+        _write_atomic(_entry_path(spool_dir, "state", index), state)
+        release_lease(spool_dir, index)
+
+
+def reclaim_stale(
+    spool_dir: str,
+    config: SpoolConfig,
+    now: Optional[float] = None,
+) -> List[int]:
+    """Requeue (or park) every task whose lease missed its heartbeats.
+
+    Any participant may run this -- workers between claims, a resuming
+    coordinator, a cron on a shared mount.  The requeue-or-park decision
+    is written *before* the lease is unlinked, so a new claimant always
+    observes the updated retry state; the unlink itself succeeds for
+    exactly one reclaimer, keeping ``reclaims`` counts near-exact.
+    """
+    now = time.time() if now is None else now
+    timeout_s = config.effective_lease_timeout_s
+    reclaimed: List[int] = []
+    try:
+        entries = sorted(os.listdir(os.path.join(spool_dir, "leases")))
+    except FileNotFoundError:
+        return reclaimed
+    for name in entries:
+        if not (name.startswith("task-") and name.endswith(".json")):
+            continue
+        index = _index_of(name)
+        lease_path = _entry_path(spool_dir, "leases", index)
+        if os.path.exists(_entry_path(spool_dir, "results", index)):
+            release_lease(spool_dir, index)  # finished; tidy the leftover
+            continue
+        lease = _read_json(lease_path)
+        if lease is not None:
+            beat = float(lease.get("heartbeat_unix", 0.0))
+        else:
+            try:  # unparseable/mid-write lease: fall back to file age
+                beat = os.path.getmtime(lease_path)
+            except OSError:
+                continue
+        if now - beat <= timeout_s:
+            continue
+        owner = (lease or {}).get("owner", "unknown")
+        _requeue_or_park(
+            spool_dir, index,
+            f"lease expired (owner {owner}, last heartbeat"
+            f" {now - beat:.1f}s ago)",
+            config, now, reclaim=True,
+        )
+        reclaimed.append(index)
+        _count("reclaimed")
+    return reclaimed
+
+
+# ------------------------------------------------------------ worker loop
+
+
+def _runnable_indices(spool_dir: str, tasks_total: int,
+                      now: float) -> List[int]:
+    """Indices with no result, no parked marker, no live lease, and an
+    elapsed backoff -- the claimable frontier, in index order."""
+    done = _index_set(spool_dir, "results") | _index_set(spool_dir, "parked")
+    leased = _index_set(spool_dir, "leases")
+    runnable = []
+    for index in range(tasks_total):
+        if index in done or index in leased:
+            continue
+        if _read_state(spool_dir, index)["next_eligible_unix"] > now:
+            continue
+        runnable.append(index)
+    return runnable
+
+
+def _index_set(spool_dir: str, kind: str) -> set:
+    try:
+        names = os.listdir(os.path.join(spool_dir, kind))
+    except FileNotFoundError:
+        return set()
+    return {
+        _index_of(n) for n in names
+        if n.startswith("task-") and n.endswith(".json")
+    }
+
+
+def _execute_claimed(
+    spool_dir: str,
+    index: int,
+    lease: Dict[str, Any],
+    config: SpoolConfig,
+    timeout_s: Optional[float],
+    trace_dir: Optional[str],
+) -> None:
+    """Run one claimed task under a heartbeat and publish the outcome.
+
+    Mirrors the engine's retry semantics: an experiment *exception* is a
+    recorded failure (published as a result -- rerunning a deterministic
+    bug buys nothing), while a *timeout* consumes an attempt and goes back
+    through the backoff/park path like a crash would.
+    """
+    from repro.exec.worker import execute_task
+
+    spec = _read_json(_entry_path(spool_dir, "tasks", index))
+    if spec is None:
+        raise SpoolError(f"spool task file missing for index {index}")
+    if timeout_s is not None:
+        spec["timeout_s"] = timeout_s
+    if trace_dir is not None:
+        spec["trace_dir"] = trace_dir
+    with _Heartbeat(spool_dir, index, lease["owner"], config.heartbeat_s):
+        payload = execute_task(spec)
+    if payload.get("timeout"):
+        _requeue_or_park(spool_dir, index, payload.get("error", "timeout"),
+                         config, time.time(), timeout=True)
+        return
+    _write_atomic(_entry_path(spool_dir, "results", index), payload)
+    release_lease(spool_dir, index)
+    _count("completed")
+
+
+def spool_worker_loop(
+    spool_dir: str,
+    owner: Optional[str] = None,
+    config: Optional[SpoolConfig] = None,
+    timeout_s: Optional[float] = None,
+    trace_dir: Optional[str] = None,
+    max_tasks: Optional[int] = None,
+    reclaim: bool = True,
+) -> int:
+    """Claim-and-execute until the spool is drained; returns tasks run.
+
+    The loop is self-sufficient: it reclaims stale leases between claims,
+    honours retry backoffs, and exits when every task has a result or a
+    parked marker.  Point any number of these (across processes or hosts)
+    at the same directory and they cooperate with no coordinator.
+    ``max_tasks`` bounds this call's executions (used by tests and by
+    deliberate-interruption smoke jobs).
+    """
+    owner = owner or default_owner()
+    config = config or SpoolConfig()
+    manifest = load_manifest(spool_dir)
+    tasks_total = manifest["tasks_total"]
+    executed = 0
+    while True:
+        now = time.time()
+        if reclaim:
+            reclaim_stale(spool_dir, config, now)
+        progress = False
+        for index in _runnable_indices(spool_dir, tasks_total, now):
+            if max_tasks is not None and executed >= max_tasks:
+                return executed
+            lease = claim_task(spool_dir, index, owner, config, now)
+            if lease is None:
+                continue
+            _execute_claimed(spool_dir, index, lease, config,
+                             timeout_s, trace_dir)
+            executed += 1
+            progress = True
+        status = spool_status(spool_dir)
+        if status["pending"] == 0:
+            return executed
+        if max_tasks is not None and executed >= max_tasks:
+            return executed
+        if not progress:
+            # Everything pending is leased elsewhere or backing off; wait
+            # for heartbeats to lapse or backoffs to elapse.
+            time.sleep(config.poll_s)
+
+
+def spool_status(spool_dir: str) -> Dict[str, int]:
+    """Ground-truth progress scan: totals straight from the files."""
+    manifest = load_manifest(spool_dir)
+    results = _index_set(spool_dir, "results")
+    parked = _index_set(spool_dir, "parked") - results
+    leases = _index_set(spool_dir, "leases") - results
+    total = manifest["tasks_total"]
+    attempts = 0
+    reclaims = 0
+    for index in range(total):
+        state = _read_state(spool_dir, index)
+        attempts += state["attempts"]
+        reclaims += state["reclaims"]
+    return {
+        "tasks_total": total,
+        "completed": len(results),
+        "parked": len(parked),
+        "leased": len(leases),
+        "pending": total - len(results) - len(parked),
+        "attempts": attempts,
+        "reclaims": reclaims,
+    }
+
+
+# ------------------------------------------------------- collect / resume
+
+
+def collect_outcomes(
+    spool_dir: str,
+    tasks: Optional[Sequence[SweepTask]] = None,
+) -> "SweepOutcome":
+    """Merge the spool's results into a :class:`SweepOutcome`.
+
+    Completed tasks reproduce the exact payload a serial
+    :func:`repro.exec.run_sweep` produces, so a fully drained spool merges
+    byte-identically to the uninterrupted serial run.  Parked tasks become
+    recorded failures flagged ``parked`` (surfacing in the document's
+    ``parked`` index list); tasks with neither file are reported as
+    unfinished -- visible, never silently dropped.
+    """
+    from repro.exec.engine import SweepOutcome, TaskOutcome, \
+        _outcome_from_payload
+
+    if tasks is None:
+        tasks = load_tasks(spool_dir)
+    outcomes: List[TaskOutcome] = []
+    for task in tasks:
+        state = _read_state(spool_dir, task.index)
+        attempts = max(1, state["attempts"])
+        payload = _read_json(_entry_path(spool_dir, "results", task.index))
+        if payload is not None:
+            outcomes.append(_outcome_from_payload(task, payload, attempts))
+            continue
+        parked = _read_json(_entry_path(spool_dir, "parked", task.index))
+        if parked is not None:
+            outcomes.append(TaskOutcome(
+                task=task, ok=False,
+                error=f"parked after {parked['attempts']} attempt(s):"
+                      f" {parked['error']}",
+                timeout=bool(parked.get("timeout")),
+                attempts=parked["attempts"], parked=True,
+            ))
+            continue
+        outcomes.append(TaskOutcome(
+            task=task, ok=False,
+            error="unfinished: no result in spool (interrupted run;"
+                  " resume to complete)",
+            attempts=state["attempts"],
+        ))
+    status = spool_status(spool_dir)
+    return SweepOutcome(outcomes=outcomes, workers=1, spool=status)
+
+
+def _spool_worker_main(spool_dir: str, owner: str, config: SpoolConfig,
+                       timeout_s: Optional[float],
+                       trace_dir: Optional[str]) -> None:
+    """Entry point for a spawned spool worker process."""
+    spool_worker_loop(spool_dir, owner=owner, config=config,
+                      timeout_s=timeout_s, trace_dir=trace_dir)
+
+
+def run_spool_sweep(
+    spool_dir: str,
+    tasks: Optional[Sequence[SweepTask]] = None,
+    workers: int = 1,
+    config: Optional[SpoolConfig] = None,
+    resume: bool = False,
+    timeout_s: Optional[float] = None,
+    trace_dir: Optional[str] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> "SweepOutcome":
+    """Initialise (or resume) a spool, drain it, and merge the outcomes.
+
+    Fresh runs require ``tasks`` and refuse an already-initialised spool;
+    ``resume=True`` requires the manifest and -- when ``tasks`` is given --
+    verifies the fingerprint, so a spool can never silently continue a
+    different sweep.  Completed task indices are skipped on resume; only
+    the remainder executes, and the merged document is byte-identical to
+    an uninterrupted serial run of the same task list.
+
+    ``workers <= 1`` drains the spool in-process (with the same
+    global-state save/restore the serial engine applies); ``workers > 1``
+    spawns that many independent worker *processes*.  A worker killed
+    mid-task takes nothing down with it: its lease goes stale, any peer
+    reclaims it, and the coordinator replaces the dead process while work
+    remains (each crash consumes one of the task's ``max_attempts``, so a
+    deterministic crasher ends up parked and the sweep still terminates).
+    """
+    import multiprocessing as mp
+
+    config = config or SpoolConfig()
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+    start = time.perf_counter()
+    if os.path.exists(_manifest_path(spool_dir)):
+        if not resume:
+            raise SpoolError(
+                f"spool {spool_dir!r} already exists; pass resume=True to"
+                " continue it (or point at a fresh directory)"
+            )
+        manifest = load_manifest(spool_dir)
+        if tasks is not None and \
+                manifest["fingerprint"] != task_fingerprint(tasks):
+            raise SpoolError(
+                "resume refused: the spool manifest fingerprint does not"
+                " match the derived task list"
+            )
+        if tasks is None:
+            tasks = load_tasks(spool_dir)
+    else:
+        if resume:
+            raise SpoolError(f"nothing to resume: no manifest in {spool_dir!r}")
+        if tasks is None:
+            raise ValueError("a fresh spool run needs the task list")
+        init_spool(spool_dir, tasks, meta=meta)
+
+    restarts = 0
+    if workers <= 1:
+        _drain_in_process(spool_dir, config, timeout_s, trace_dir)
+    else:
+        ctx = mp.get_context()
+        procs: Dict[int, Any] = {}
+        try:
+            while spool_status(spool_dir)["pending"] > 0:
+                reclaim_stale(spool_dir, config)
+                for slot in range(workers):
+                    proc = procs.get(slot)
+                    if proc is not None and proc.is_alive():
+                        continue
+                    if proc is not None:
+                        proc.join()
+                        if proc.exitcode != 0:  # died, not drained-and-done
+                            restarts += 1
+                    procs[slot] = ctx.Process(
+                        target=_spool_worker_main,
+                        args=(spool_dir, f"{default_owner()}:w{slot}",
+                              config, timeout_s, trace_dir),
+                        daemon=True,
+                    )
+                    procs[slot].start()
+                time.sleep(config.poll_s)
+        finally:
+            deadline = time.time() + config.effective_lease_timeout_s + 5.0
+            for proc in procs.values():
+                proc.join(timeout=max(0.1, deadline - time.time()))
+                if proc.is_alive():
+                    proc.terminate()
+
+    outcome = collect_outcomes(spool_dir, tasks)
+    outcome.workers = max(1, workers)
+    outcome.wall_seconds = time.perf_counter() - start
+    if outcome.spool is not None:
+        outcome.spool["worker_restarts"] = restarts
+    return outcome
+
+
+def _drain_in_process(spool_dir: str, config: SpoolConfig,
+                      timeout_s: Optional[float],
+                      trace_dir: Optional[str]) -> None:
+    """Single-worker drain with the serial engine's state hygiene."""
+    from repro import obs
+    from repro.crypto import keys
+    from repro.exec.worker import reset_worker_state
+
+    saved_tracer = obs.TRACER
+    saved_verifiers = dict(keys._VERIFIERS)
+    try:
+        spool_worker_loop(spool_dir, config=config, timeout_s=timeout_s,
+                          trace_dir=trace_dir)
+    finally:
+        reset_worker_state()
+        keys._VERIFIERS.update(saved_verifiers)
+        obs.set_tracer(saved_tracer)

@@ -149,6 +149,11 @@ def _fig7(seed: int, **params: Any):
     return run_fig7(seed=seed, **params)
 
 
+def _fig7_point(seed: int, **params: Any):
+    from repro.experiments.fig7_mempool_latency import run_fig7_point
+    return run_fig7_point(seed=seed, **params)
+
+
 def _fig8_policy(seed: int, **params: Any):
     from repro.experiments.fig8_block_latency import run_policy
     return run_policy(seed=seed, **params)
@@ -182,6 +187,7 @@ EXPERIMENTS: Dict[str, Runner] = {
     "fig6": _fig6,
     "fig6_point": _fig6_point,
     "fig7": _fig7,
+    "fig7_point": _fig7_point,
     "fig8_policy": _fig8_policy,
     "fig9": _fig9,
     "fig10_point": _fig10_point,

@@ -74,6 +74,28 @@ def dissemination_hops(sim: LOSimulation, max_txs: int = 200) -> List[int]:
     return hops
 
 
+def run_fig7_point(
+    seed: int,
+    num_nodes: int = 100,
+    tx_rate_per_s: float = 20.0,
+    workload_duration_s: float = 20.0,
+    drain_s: float = 10.0,
+) -> Dict[str, List[float]]:
+    """One seed's raw samples: inclusion latencies + dissemination hops.
+
+    Module-level and plain-data so it can cross a process boundary -- this
+    is the unit :func:`run_fig7` fans out per repetition seed and the
+    ``fig7_point`` entry in :data:`repro.exec.tasks.EXPERIMENTS`.
+    """
+    sim = LOSimulation(SimulationParams(num_nodes=num_nodes, seed=seed))
+    sim.inject_workload(rate_per_s=tx_rate_per_s, duration_s=workload_duration_s)
+    sim.run(workload_duration_s + drain_s)
+    return {
+        "latencies": sim.mempool_tracker.all_latencies(),
+        "hops": [float(h) for h in dissemination_hops(sim)],
+    }
+
+
 def run_fig7(
     num_nodes: int = 100,
     tx_rate_per_s: float = 20.0,
@@ -82,18 +104,33 @@ def run_fig7(
     seed: int = 42,
     bins: int = 40,
     max_latency_s: float = 8.0,
+    repetitions: int = 1,
+    workers: int = 1,
 ) -> Fig7Result:
-    """Run the workload and collect per-(tx, miner) inclusion latencies."""
-    sim = LOSimulation(SimulationParams(num_nodes=num_nodes, seed=seed))
-    sim.inject_workload(rate_per_s=tx_rate_per_s, duration_s=workload_duration_s)
-    sim.run(workload_duration_s + drain_s)
-    latencies = sim.mempool_tracker.all_latencies()
+    """Run the workload and collect per-(tx, miner) inclusion latencies.
+
+    ``repetitions > 1`` repeats the run at derived seeds (the paper's
+    repetition protocol) and pools every sample into one density;
+    ``workers > 1`` fans the repetition simulations across worker
+    processes via :func:`repro.exec.map_points`.  Samples come back in
+    seed order, so the pooled result is identical to the serial run.
+    """
+    from repro.exec.engine import map_points
+    from repro.experiments.repeat import derive_seeds
+
+    calls = [
+        {"seed": s, "num_nodes": num_nodes, "tx_rate_per_s": tx_rate_per_s,
+         "workload_duration_s": workload_duration_s, "drain_s": drain_s}
+        for s in derive_seeds(seed, repetitions)
+    ]
+    points = map_points(run_fig7_point, calls, workers=workers)
+    latencies = [l for point in points for l in point["latencies"]]
+    hops = [h for point in points for h in point["hops"]]
     histogram = Histogram(0.0, max_latency_s, bins)
     histogram.add_all(latencies)
-    hops = dissemination_hops(sim)
     return Fig7Result(
         latencies=latencies,
         summary=describe(latencies),
         density=histogram.density(),
-        hops_summary=describe([float(h) for h in hops]),
+        hops_summary=describe(hops),
     )

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import List, Sequence
 
 from repro.sketch import PartitionedReconciler, PinSketch, SketchDecodeError
 from repro.sketch.pinsketch import clear_decode_cache
@@ -96,3 +97,36 @@ def run_cpu_comparison(
         partitioned_seconds=part_s,
         partitioned_sketches=sketches,
     )
+
+
+@dataclass
+class CpuSweepResult:
+    """Naive-vs-partitioned comparisons across difference sizes."""
+
+    points: List[CpuResult] = field(default_factory=list)
+
+
+def run_cpu_sweep(
+    differences: Sequence[int],
+    partition_capacity: int = 16,
+    seed: int = 42,
+    workers: int = 1,
+) -> CpuSweepResult:
+    """Section 6.5 rows at several difference sizes, optionally parallel.
+
+    ``workers > 1`` fans the independent comparisons across worker
+    processes via :func:`repro.exec.map_points`; each point is a pure
+    function of ``(difference, partition_capacity, seed)`` except for the
+    wall-clock *timings* themselves, which are machine-dependent either
+    way -- the deterministic surface (difference recovered, sketch
+    counts) is identical serial or parallel.
+    """
+    from repro.exec.engine import map_points
+
+    calls = [
+        {"difference": d, "partition_capacity": partition_capacity,
+         "seed": seed}
+        for d in differences
+    ]
+    return CpuSweepResult(points=map_points(run_cpu_comparison, calls,
+                                            workers=workers))

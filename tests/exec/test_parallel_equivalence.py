@@ -16,6 +16,7 @@ from repro.experiments.fig6_detection import run_fig6
 from repro.experiments.fig9_bandwidth import run_fig9
 from repro.experiments.fig7_mempool_latency import run_fig7
 from repro.experiments.repeat import repeat_scalar
+from repro.experiments.sec65_cpu import run_cpu_sweep
 from repro.metrics.reporting import to_jsonable
 
 WORKERS = 4
@@ -52,6 +53,31 @@ def test_fig9_parallel_equals_serial():
     assert to_jsonable(serial) == to_jsonable(parallel)
     # The post-merge ratio fill-in must behave identically too.
     assert parallel.by_protocol()["lo"].ratio_vs_lo == 1.0
+
+
+def test_fig7_repetitions_parallel_equals_serial():
+    kwargs = dict(num_nodes=10, tx_rate_per_s=3.0, workload_duration_s=3.0,
+                  drain_s=3.0, seed=5, repetitions=2)
+    serial = run_fig7(**kwargs, workers=1)
+    parallel = run_fig7(**kwargs, workers=WORKERS)
+    assert to_jsonable(serial) == to_jsonable(parallel)
+    # Pooling is real: two repetitions contribute more samples than one.
+    single = run_fig7(**{**kwargs, "repetitions": 1})
+    assert serial.summary["count"] > single.summary["count"]
+
+
+def test_cpu_sweep_parallel_equals_serial_on_deterministic_fields():
+    kwargs = dict(differences=[4, 8], partition_capacity=16, seed=5)
+    serial = run_cpu_sweep(**kwargs, workers=1)
+    parallel = run_cpu_sweep(**kwargs, workers=WORKERS)
+    # Wall-clock timings are machine noise either way; the deterministic
+    # surface (which differences were reconciled, and how many partitioned
+    # sketches each decode took) must match exactly.
+    def surface(result):
+        return [(p.difference, p.partitioned_sketches)
+                for p in result.points]
+    assert surface(serial) == surface(parallel)
+    assert [p.difference for p in serial.points] == [4, 8]
 
 
 def _fig7_run(seed):

@@ -1,0 +1,134 @@
+"""The CI perf-trend gate (``tools/check_bench_trend.py``).
+
+Synthetic ``repro.bench/1`` payloads exercise the three behaviours the
+gate promises: pass when fresh numbers hold, fail (exit 1) on a watched
+metric regressing beyond the threshold, and skip (never false-fail) when
+the workloads are not comparable.
+"""
+
+import importlib.util
+import io
+import json
+import os
+
+import pytest
+
+_TOOL = os.path.join(os.path.dirname(__file__), os.pardir, "tools",
+                     "check_bench_trend.py")
+_spec = importlib.util.spec_from_file_location("check_bench_trend", _TOOL)
+trend = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(trend)
+
+
+def _harness_payload(events_per_second=1000.0, wall_per_sim=0.5,
+                     params=None):
+    return {
+        "schema": "repro.bench/1",
+        "params": params or {"quick": False},
+        "derived": {
+            "events_per_second": events_per_second,
+            "wall_seconds_per_sim_second": wall_per_sim,
+        },
+        "results": [],
+    }
+
+
+def _sketch_payload(decode_ops=500.0, params=None):
+    return {
+        "schema": "repro.bench/1",
+        "params": params or {"quick": False},
+        "derived": {},
+        "results": [
+            {"name": "decode/d=64", "ops_per_second": decode_ops},
+            {"name": "encode/d=64", "ops_per_second": 1.0},  # not watched
+        ],
+    }
+
+
+def _write(directory, suite, payload):
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{suite}.json")
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream)
+    return path
+
+
+def test_watched_metrics_inverts_lower_is_better():
+    metrics = trend.watched_metrics("harness", _harness_payload(
+        events_per_second=100.0, wall_per_sim=0.25))
+    assert metrics["derived.events_per_second"] == 100.0
+    assert metrics["derived.sim_seconds_per_wall_second"] == 4.0
+    sketch = trend.watched_metrics("sketch", _sketch_payload(decode_ops=7.0))
+    assert sketch == {"result.decode/d=64.ops_per_second": 7.0}
+
+
+def test_clean_comparison_passes(tmp_path):
+    base, fresh = str(tmp_path / "base"), str(tmp_path / "fresh")
+    _write(base, "harness", _harness_payload())
+    _write(fresh, "harness", _harness_payload(events_per_second=1050.0))
+    _write(base, "sketch", _sketch_payload())
+    _write(fresh, "sketch", _sketch_payload(decode_ops=490.0))  # -2%: fine
+    out = io.StringIO()
+    code = trend.check_dirs(base, fresh, ["harness", "sketch"],
+                            threshold=0.20, out=out)
+    assert code == 0
+    assert "bench trend ok" in out.getvalue()
+
+
+@pytest.mark.parametrize("suite,slow_payload", [
+    ("harness", _harness_payload(events_per_second=500.0)),   # -50% events/s
+    ("harness", _harness_payload(wall_per_sim=1.0)),          # 2x wall cost
+    ("sketch", _sketch_payload(decode_ops=300.0)),            # -40% decode
+])
+def test_injected_regression_fails(tmp_path, suite, slow_payload):
+    base, fresh = str(tmp_path / "base"), str(tmp_path / "fresh")
+    baseline = (_harness_payload() if suite == "harness"
+                else _sketch_payload())
+    _write(base, suite, baseline)
+    _write(fresh, suite, slow_payload)
+    out = io.StringIO()
+    code = trend.check_dirs(base, fresh, [suite], threshold=0.20, out=out)
+    assert code == 1
+    assert "REGRESSION" in out.getvalue()
+
+
+def test_params_mismatch_skips_instead_of_false_failing(tmp_path):
+    # A --quick CI run against a committed full-size baseline must skip,
+    # not report a bogus regression -- unless forced with --ignore-params.
+    base, fresh = str(tmp_path / "base"), str(tmp_path / "fresh")
+    _write(base, "harness", _harness_payload(events_per_second=1000.0))
+    _write(fresh, "harness", _harness_payload(
+        events_per_second=100.0, params={"quick": True}))
+    out = io.StringIO()
+    assert trend.check_dirs(base, fresh, ["harness"], 0.20, out=out) == 0
+    assert "SKIPPED" in out.getvalue()
+    assert trend.check_dirs(base, fresh, ["harness"], 0.20,
+                            ignore_params=True, out=io.StringIO()) == 1
+
+
+def test_missing_fresh_file_is_exit_2(tmp_path):
+    base, fresh = str(tmp_path / "base"), str(tmp_path / "fresh")
+    _write(base, "harness", _harness_payload())
+    os.makedirs(fresh)
+    assert trend.check_dirs(base, fresh, ["harness"], 0.20,
+                            out=io.StringIO()) == 2
+
+
+def test_missing_baseline_is_skipped_not_fatal(tmp_path):
+    # Repos without a committed baseline yet must not fail CI.
+    base, fresh = str(tmp_path / "base"), str(tmp_path / "fresh")
+    os.makedirs(base)
+    _write(fresh, "harness", _harness_payload())
+    out = io.StringIO()
+    assert trend.check_dirs(base, fresh, ["harness"], 0.20, out=out) == 0
+    assert "no committed baseline" in out.getvalue()
+
+
+def test_main_cli_roundtrip(tmp_path, capsys):
+    base, fresh = str(tmp_path / "base"), str(tmp_path / "fresh")
+    _write(base, "sketch", _sketch_payload())
+    _write(fresh, "sketch", _sketch_payload(decode_ops=100.0))
+    code = trend.main(["--baseline-dir", base, "--fresh-dir", fresh,
+                       "--suites", "sketch"])
+    assert code == 1
+    assert "regressed beyond" in capsys.readouterr().err

@@ -109,3 +109,65 @@ def test_experiment_verbs_accept_workers(capsys):
     code = main(["fig10", "--nodes", "10", "--duration", "8",
                  "--workloads", "120", "--workers", "2"])
     assert code == 0
+
+
+SPOOL_ARGS = [
+    "sweep", "run",
+    "--param", "num_nodes=6,8", "--param", "rate_per_s=3.0",
+    "--param", "duration_s=1.0", "--param", "drain_s=1.0",
+    "--repetitions", "1", "--workers", "1",
+]
+
+
+def test_sweep_spool_byte_identical_to_plain(tmp_path, capsys):
+    plain_json = tmp_path / "plain.json"
+    spool_json = tmp_path / "spool.json"
+    assert main(SPOOL_ARGS + ["--json", str(plain_json)]) == 0
+    assert main(SPOOL_ARGS + ["--spool", str(tmp_path / "spool"),
+                              "--json", str(spool_json)]) == 0
+    out = capsys.readouterr().out
+    assert plain_json.read_bytes() == spool_json.read_bytes()
+    assert "spool" in out and "2/2 completed" in out
+
+
+def test_sweep_spool_resume_is_idempotent(tmp_path, capsys):
+    spool_dir = tmp_path / "spool"
+    first = tmp_path / "first.json"
+    resumed = tmp_path / "resumed.json"
+    assert main(SPOOL_ARGS + ["--spool", str(spool_dir),
+                              "--json", str(first)]) == 0
+    # Resuming a drained spool re-merges without re-running anything.
+    assert main(SPOOL_ARGS + ["--spool", str(spool_dir), "--resume",
+                              "--json", str(resumed)]) == 0
+    capsys.readouterr()
+    assert first.read_bytes() == resumed.read_bytes()
+
+
+def test_sweep_spool_guards(tmp_path, capsys):
+    spool_dir = tmp_path / "spool"
+    # --resume without --spool is a usage error.
+    assert main(SPOOL_ARGS + ["--resume"]) == 2
+    assert "--resume requires --spool" in capsys.readouterr().err
+    # A second fresh run into the same spool is refused, not clobbered.
+    assert main(SPOOL_ARGS + ["--spool", str(spool_dir)]) == 0
+    capsys.readouterr()
+    assert main(SPOOL_ARGS + ["--spool", str(spool_dir)]) == 2
+    assert "resume" in capsys.readouterr().err
+
+
+def test_fig7_accepts_repetitions_and_workers(capsys):
+    code = main(["fig7", "--nodes", "10", "--rate", "3", "--duration", "3",
+                 "--repetitions", "2", "--workers", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "count" in out and "210" in out  # 2 reps x 105 pooled samples
+
+
+def test_cpu_accepts_differences_sweep(tmp_path, capsys):
+    out_file = tmp_path / "cpu.json"
+    code = main(["cpu", "--differences", "8", "16", "--capacity", "8",
+                 "--workers", "2", "--json", str(out_file)])
+    assert code == 0
+    assert "speedup" in capsys.readouterr().out
+    payload = json.loads(out_file.read_text())
+    assert [p["difference"] for p in payload["result"]["points"]] == [8, 16]

@@ -43,6 +43,7 @@ PUBLIC_MODULES = [
     "repro.exec.tasks",
     "repro.exec.worker",
     "repro.exec.engine",
+    "repro.exec.spool",
     "repro.experiments",
     "repro.experiments.fig6_detection",
     "repro.experiments.fig7_mempool_latency",

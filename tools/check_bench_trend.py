@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Fail loudly when a fresh bench run regresses against the committed one.
+
+Compares freshly generated ``BENCH_*.json`` files (``repro.bench/1``
+schema) against committed baselines and exits non-zero when a watched
+throughput metric drops by more than the threshold (default 20%), so an
+events/sec or decode-speed regression fails CI instead of drifting
+silently across PRs.
+
+Watched metrics (higher is better):
+
+* ``harness`` -- ``derived.events_per_second`` (whole-system simulation
+  throughput) and ``derived.wall_seconds_per_sim_second`` (inverted);
+* ``sketch``  -- ``ops_per_second`` of every ``decode/...`` result case
+  present in *both* files, matched by exact case name.
+
+Micro-benchmarks are only comparable at identical workloads, so a suite
+whose ``params`` differ between baseline and fresh (e.g. a ``--quick`` CI
+run against a committed full-size baseline) is *skipped with a warning*
+unless ``--ignore-params`` forces the comparison.  Improvements are
+reported but never fail.
+
+Usage::
+
+    python -m repro bench --out-dir bench-out
+    python tools/check_bench_trend.py --baseline-dir . --fresh-dir bench-out
+
+Exit codes: 0 = no regression, 1 = regression beyond threshold,
+2 = missing/undecodable inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Iterator, List, Optional, Tuple
+
+DEFAULT_THRESHOLD = 0.20
+DEFAULT_SUITES = ("harness", "sketch")
+
+#: suite -> list of (metric label, extractor); extractor returns
+#: ``{label: higher-is-better value}`` entries found in a payload.
+_SCHEMA = "repro.bench/1"
+
+
+def _load(path: str) -> Optional[dict]:
+    try:
+        with open(path, encoding="utf-8") as stream:
+            payload = json.load(stream)
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    if payload.get("schema") != _SCHEMA:
+        raise SystemExit(
+            f"error: {path} has schema {payload.get('schema')!r},"
+            f" expected {_SCHEMA!r}"
+        )
+    return payload
+
+
+def watched_metrics(suite: str, payload: dict) -> Dict[str, float]:
+    """Extract the suite's higher-is-better throughput metrics."""
+    metrics: Dict[str, float] = {}
+    derived = payload.get("derived", {})
+    if suite == "harness":
+        if "events_per_second" in derived:
+            metrics["derived.events_per_second"] = \
+                float(derived["events_per_second"])
+        wall = derived.get("wall_seconds_per_sim_second")
+        if wall:  # lower is better: invert so one comparison rule fits all
+            metrics["derived.sim_seconds_per_wall_second"] = 1.0 / float(wall)
+    elif suite == "sketch":
+        for result in payload.get("results", []):
+            name = result.get("name", "")
+            if name.startswith("decode/"):
+                metrics[f"result.{name}.ops_per_second"] = \
+                    float(result["ops_per_second"])
+    return metrics
+
+
+def compare_suite(
+    suite: str,
+    baseline: dict,
+    fresh: dict,
+    threshold: float,
+    ignore_params: bool = False,
+) -> Iterator[Tuple[str, str, float, float, float]]:
+    """Yield ``(status, metric, baseline, fresh, change)`` rows.
+
+    ``status`` is ``REGRESSION`` (beyond threshold), ``ok`` (within), or
+    ``skipped`` (suite-level parameter mismatch; single sentinel row).
+    ``change`` is the fractional delta, negative for a slowdown.
+    """
+    if not ignore_params and baseline.get("params") != fresh.get("params"):
+        yield ("skipped", "params differ (sizes not comparable;"
+               " --ignore-params to force)", 0.0, 0.0, 0.0)
+        return
+    if not ignore_params and baseline.get("fast_path") != fresh.get("fast_path"):
+        yield ("skipped", "fast_path availability differs"
+               " (environment mismatch)", 0.0, 0.0, 0.0)
+        return
+    base_metrics = watched_metrics(suite, baseline)
+    fresh_metrics = watched_metrics(suite, fresh)
+    for name in sorted(base_metrics):
+        if name not in fresh_metrics:
+            continue
+        base, new = base_metrics[name], fresh_metrics[name]
+        if base <= 0:
+            continue
+        change = (new - base) / base
+        status = "REGRESSION" if change < -threshold else "ok"
+        yield (status, name, base, new, change)
+
+
+def check_dirs(
+    baseline_dir: str,
+    fresh_dir: str,
+    suites: List[str],
+    threshold: float,
+    ignore_params: bool = False,
+    out=sys.stdout,
+) -> int:
+    """Compare every suite's file pair; returns the process exit code."""
+    regressions = 0
+    compared = 0
+    for suite in suites:
+        filename = f"BENCH_{suite}.json"
+        baseline = _load(os.path.join(baseline_dir, filename))
+        fresh = _load(os.path.join(fresh_dir, filename))
+        if baseline is None:
+            print(f"[{suite}] no committed baseline {filename}; skipping",
+                  file=out)
+            continue
+        if fresh is None:
+            print(f"error: fresh {filename} missing in {fresh_dir}",
+                  file=sys.stderr)
+            return 2
+        for status, name, base, new, change in compare_suite(
+                suite, baseline, fresh, threshold, ignore_params):
+            if status == "skipped":
+                print(f"[{suite}] SKIPPED: {name}", file=out)
+                continue
+            compared += 1
+            print(f"[{suite}] {status:10s} {name}:"
+                  f" {base:.1f} -> {new:.1f} ({change:+.1%})", file=out)
+            if status == "REGRESSION":
+                regressions += 1
+    if regressions:
+        print(f"{regressions} metric(s) regressed beyond"
+              f" {threshold:.0%}", file=sys.stderr)
+        return 1
+    print(f"bench trend ok ({compared} metric(s) compared)", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (see module docstring)."""
+    parser = argparse.ArgumentParser(
+        description="gate CI on BENCH_*.json performance trends")
+    parser.add_argument("--baseline-dir", default=".",
+                        help="directory with the committed BENCH_*.json")
+    parser.add_argument("--fresh-dir", required=True,
+                        help="directory with the freshly generated files")
+    parser.add_argument("--suites", nargs="+", default=list(DEFAULT_SUITES),
+                        help="suites to compare (default: harness sketch)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="max tolerated fractional drop (default 0.20)")
+    parser.add_argument("--ignore-params", action="store_true",
+                        help="compare even when suite params differ"
+                             " (quick vs full runs are NOT comparable;"
+                             " use only when you know the workloads match)")
+    args = parser.parse_args(argv)
+    return check_dirs(args.baseline_dir, args.fresh_dir, args.suites,
+                      args.threshold, args.ignore_params)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
