@@ -51,11 +51,21 @@ def run_suites(
     quick: bool = False,
     seed: int = 42,
     out_dir: str = ".",
+    profile: bool = False,
+    profile_top: int = 25,
 ) -> Dict[str, Dict[str, Any]]:
     """Run the named suites (default: all) and write ``BENCH_<name>.json``.
 
     Returns ``{suite: payload}`` with each payload in the ``repro.bench/1``
     schema, including the output ``path`` it was written to.
+
+    With ``profile=True`` each suite additionally runs under
+    :mod:`cProfile` and a ``BENCH_<name>.profile.txt`` with the top
+    ``profile_top`` functions (by cumulative and by internal time) lands
+    next to the JSON; its path is exposed as ``payload["profile_path"]``.
+    Profiling adds interpreter overhead, so the JSON numbers from a
+    profiled run are for *shape* (where the time goes), not for trend
+    comparison.
     """
     selected = list(names) if names is not None else sorted(SUITES)
     unknown = [n for n in selected if n not in SUITES]
@@ -64,11 +74,40 @@ def run_suites(
     os.makedirs(out_dir, exist_ok=True)
     payloads: Dict[str, Dict[str, Any]] = {}
     for name in selected:
-        results, derived, params = SUITES[name](quick=quick, seed=seed)
+        profiler = None
+        if profile:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+        try:
+            results, derived, params = SUITES[name](quick=quick, seed=seed)
+        finally:
+            if profiler is not None:
+                profiler.disable()
         path = os.path.join(out_dir, f"BENCH_{name}.json")
         payload = write_bench_json(
             path, name, results, derived=derived, params=params
         )
         payload["path"] = path
+        if profiler is not None:
+            profile_path = os.path.join(out_dir, f"BENCH_{name}.profile.txt")
+            _write_profile(profile_path, name, profiler, profile_top)
+            payload["profile_path"] = profile_path
         payloads[name] = payload
     return payloads
+
+
+def _write_profile(path: str, suite: str, profiler, top: int) -> None:
+    """Render a cProfile run as a two-section top-``top`` text table."""
+    import io
+    import pstats
+
+    stream = io.StringIO()
+    stream.write(f"# cProfile of bench suite {suite!r}"
+                 f" (top {top}; profiled runs measure shape, not speed)\n\n")
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    stats.sort_stats("tottime").print_stats(top)
+    with open(path, "w", encoding="utf-8") as out:
+        out.write(stream.getvalue())

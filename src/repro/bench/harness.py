@@ -14,6 +14,9 @@ Derived metrics:
 * ``events_per_second`` -- simulation events executed per wall second in
   one representative run;
 * ``wall_seconds_per_sim_second`` -- wall cost of one simulated second;
+* ``large_events_per_second`` -- the same throughput probe on a
+  1000-node topology (``sim/run/nodes=1000``), where per-event cost is
+  dominated by large-overlay bookkeeping rather than kernel math;
 * ``sweep_speedup_workersN`` -- serial wall / N-worker wall for the task
   matrix (bounded by the machine's core count; ~1x or below on one core);
 * ``sweep_workers`` -- the N used (min(4, cpu count));
@@ -43,6 +46,17 @@ def _sim_params(quick: bool) -> Dict[str, Any]:
         "rate_per_s": 5.0 if quick else 10.0,
         "duration_s": 4.0 if quick else 8.0,
         "drain_s": 2.0,
+    }
+
+
+def _large_sim_params(quick: bool) -> Dict[str, Any]:
+    # The node count is the point; the tx workload stays small because
+    # per-event cost at 1000 nodes is ~10x the 24-node run's.
+    return {
+        "num_nodes": 1000,
+        "rate_per_s": 5.0 if quick else 20.0,
+        "duration_s": 1.0 if quick else 2.0,
+        "drain_s": 0.5 if quick else 1.0,
     }
 
 
@@ -87,6 +101,28 @@ def harness_suite(quick: bool = False, seed: int = 42) -> SuiteOutput:
     derived["wall_seconds_per_sim_second"] = (
         run_seconds / sim_seconds if sim_seconds else 0.0
     )
+
+    # --- large topology: 1000 nodes ------------------------------------
+    # Same probe at the paper-scale node count; the workload is kept small
+    # (events scale with rate x duration x overlay fan-out) so the full
+    # suite stays in the tens of seconds while still exercising the
+    # large-overlay hot path end to end.
+    large_kwargs = _large_sim_params(quick)
+    large_seconds = large_kwargs["duration_s"] + large_kwargs["drain_s"]
+    large_probe = run_plain(seed=seed, **large_kwargs)
+    large_events = int(large_probe["events_processed"])
+
+    def one_large_run():
+        run_plain(seed=seed, **large_kwargs)
+
+    large_case = bench_case(
+        f"sim/run/nodes={large_kwargs['num_nodes']}", one_large_run,
+        params=dict(large_kwargs, seed=seed, events=large_events,
+                    sim_seconds=large_seconds),
+        iterations=1, repeats=repeats, ops_per_call=large_events,
+    )
+    results.append(large_case)
+    derived["large_events_per_second"] = large_case.ops_per_second
 
     # --- sweep engine: serial vs N workers -----------------------------
     grid = _task_grid(quick)
@@ -157,5 +193,6 @@ def harness_suite(quick: bool = False, seed: int = 42) -> SuiteOutput:
     )
 
     params = {"quick": quick, "seed": seed, "sim": sim_kwargs,
-              "grid": grid, "repetitions": repetitions, "workers": workers}
+              "sim_large": large_kwargs, "grid": grid,
+              "repetitions": repetitions, "workers": workers}
     return results, derived, params

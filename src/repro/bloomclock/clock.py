@@ -16,7 +16,16 @@ so the clock is a bucketed item counter:
 from __future__ import annotations
 
 import enum
+import struct
+from functools import lru_cache
+from operator import ge as _ge, gt as _gt, lt as _lt, sub as _sub
 from typing import Iterable, List, Sequence
+
+
+@lru_cache(maxsize=8)
+def _counter_struct(cells: int) -> struct.Struct:
+    """Packer for ``cells`` 2-byte big-endian counters (the common path)."""
+    return struct.Struct(f">{cells}H")
 
 
 class ClockComparison(enum.Enum):
@@ -40,9 +49,10 @@ class BloomClock:
     True
     """
 
-    __slots__ = ("cells", "counters", "total")
+    __slots__ = ("cells", "counters", "total", "_wire_cache")
 
     def __init__(self, cells: int = 32, counters: Sequence[int] = ()):
+        self._wire_cache: tuple = ()
         if cells < 1:
             raise ValueError(f"cells must be >= 1, got {cells}")
         self.cells = cells
@@ -85,8 +95,9 @@ class BloomClock:
     def compare(self, other: "BloomClock") -> ClockComparison:
         """Partial-order comparison; raises on mismatched cell counts."""
         self._check_compatible(other)
-        some_less = any(a < b for a, b in zip(self.counters, other.counters))
-        some_more = any(a > b for a, b in zip(self.counters, other.counters))
+        # map() runs the comparisons in C; lengths match by the check above.
+        some_less = any(map(_lt, self.counters, other.counters))
+        some_more = any(map(_gt, self.counters, other.counters))
         if not some_less and not some_more:
             return ClockComparison.EQUAL
         if some_less and some_more:
@@ -101,7 +112,7 @@ class BloomClock:
         provably inconsistent (paper section 5.2, equivocation detection).
         """
         self._check_compatible(other)
-        return all(a >= b for a, b in zip(self.counters, other.counters))
+        return all(map(_ge, self.counters, other.counters))
 
     def flagged_cells(self, other: "BloomClock") -> List[int]:
         """Cells whose counters differ -- the subsets worth sketching."""
@@ -119,7 +130,7 @@ class BloomClock:
         when sizing sketches from it.
         """
         self._check_compatible(other)
-        return sum(abs(a - b) for a, b in zip(self.counters, other.counters))
+        return sum(map(abs, map(_sub, self.counters, other.counters)))
 
     def _check_compatible(self, other: "BloomClock") -> None:
         if self.cells != other.cells:
@@ -140,12 +151,27 @@ class BloomClock:
     # ----------------------------------------------------------- wire format
 
     def serialize(self) -> bytes:
-        """2 bytes per cell plus a 4-byte total: 68 bytes at 32 cells."""
-        payload = bytearray()
-        for counter in self.counters:
-            payload += min(counter, 0xFFFF).to_bytes(2, "big")
-        payload += min(self.total, 0xFFFFFFFF).to_bytes(4, "big")
-        return bytes(payload)
+        """2 bytes per cell plus a 4-byte total: 68 bytes at 32 cells.
+
+        Memoized against ``total``: every public mutation (``add``) bumps
+        the total, so an unchanged total means the cached wire form is
+        current.  Header clocks are immutable snapshots and hit this cache
+        on every re-serialization (commitment signing and verification).
+        """
+        cache = self._wire_cache
+        if cache and cache[0] == self.total:
+            return cache[1]
+        try:
+            # One C-level pack for the in-range case (counters < 2^16).
+            payload = _counter_struct(self.cells).pack(*self.counters)
+        except struct.error:
+            chunks = bytearray()
+            for counter in self.counters:
+                chunks += min(counter, 0xFFFF).to_bytes(2, "big")
+            payload = bytes(chunks)
+        wire = payload + min(self.total, 0xFFFFFFFF).to_bytes(4, "big")
+        self._wire_cache = (self.total, wire)
+        return wire
 
     @classmethod
     def deserialize(cls, data: bytes, cells: int = 32) -> "BloomClock":

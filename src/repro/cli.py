@@ -245,7 +245,8 @@ def cmd_bench(args) -> int:
 
     suites = None if args.suite == "all" else [args.suite]
     payloads = run_suites(suites, quick=args.quick, seed=args.seed,
-                          out_dir=args.out_dir)
+                          out_dir=args.out_dir, profile=args.profile,
+                          profile_top=args.profile_top)
     for name, payload in payloads.items():
         rows = [
             (r["name"], r["iterations"],
@@ -262,6 +263,8 @@ def cmd_bench(args) -> int:
                 [(k, f"{v:.2f}") for k, v in sorted(payload["derived"].items())],
             ))
         print(f"[json written to {payload['path']}]")
+        if "profile_path" in payload:
+            print(f"[profile written to {payload['profile_path']}]")
         print()
     return 0
 
@@ -637,6 +640,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out-dir", type=str, default=".",
                    help="directory for the BENCH_*.json files")
     p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--profile", action="store_true",
+                   help="run each suite under cProfile and write a "
+                        "BENCH_<suite>.profile.txt top-N table next to "
+                        "the JSON (numbers then measure shape, not speed)")
+    p.add_argument("--profile-top", type=int, default=25,
+                   help="functions per section in the profile table")
     p.set_defaults(func=cmd_bench)
 
     return parser

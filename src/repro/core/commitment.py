@@ -16,7 +16,7 @@ Alg. 1 line 31's exposure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.bloomclock import BloomClock
 from repro.crypto.hashing import sha256
@@ -129,8 +129,18 @@ class CommitmentHeader:
         )
 
     def signature_valid(self) -> bool:
-        """Verify the signer's signature."""
-        return verify(self.signer, self.signing_bytes(), self.signature)
+        """Verify the signer's signature (memoized per instance).
+
+        Headers are immutable snapshots -- every field is frozen and the
+        clock is copied at signing time -- so the verdict cannot change.
+        The same header object is observed once per peer per exchange, and
+        re-verifying dominated the accountability profile before this memo.
+        """
+        cached = self.__dict__.get("_sig_ok")
+        if cached is None:
+            cached = verify(self.signer, self.signing_bytes(), self.signature)
+            object.__setattr__(self, "_sig_ok", cached)
+        return cached
 
     def tip_digest(self) -> bytes:
         """Chain tip digest (genesis constant at seq 0)."""
@@ -306,7 +316,7 @@ class CommitmentStore:
         picked = {seqs[0], seqs[-1]}
         return [self.by_seq[s] for s in picked]
 
-    def record_ids(self, ids: Sequence[int]) -> None:
+    def record_ids(self, ids: Iterable[int]) -> None:
         """Extend the local reconstruction of the signer's committed ids."""
         self.known_ids.update(ids)
 

@@ -453,6 +453,11 @@ class LONode(Endpoint):
 
     def _own_counts_for_spec(self, spec: SplitSpec) -> Dict[int, int]:
         """Per-cell count of our own items inside a spec (coverage check)."""
+        if spec.bit_level == 0:
+            # matches() is vacuously true at bit level 0: the count is just
+            # the cell population, no item scan needed.
+            cell_count = self.log.cell_count
+            return {cell: cell_count(cell) for cell in spec.cells}
         counts: Dict[int, int] = {}
         for cell in spec.cells:
             items = self.log.items_in_cells((cell,))
@@ -699,10 +704,11 @@ class LONode(Endpoint):
             requested_ids=tuple(new_ids),
             offered_ids=offered,
         )
-        # After a successful round both parties hold the union over the spec.
-        own_in_spec = set(ids_for_spec(self.log, request.spec))
+        # After a successful round both parties hold the union over the spec
+        # (two updates into the store's set -- no intermediate union set).
         store = self.acct.store_for(request.header.signer)
-        store.record_ids(own_in_spec | set(diff))
+        store.record_ids(ids_for_spec(self.log, request.spec))
+        store.record_ids(diff)
         self._send(sender, "lo/sync_resp", response, response.wire_size())
 
     # ------------------------------------------------- requester: sync_resp
@@ -761,8 +767,8 @@ class LONode(Endpoint):
                         sketch_id, self.node_id, self.now
                     )
         store = self.acct.store_for(peer_key)
-        own_in_spec = set(ids_for_spec(self.log, session.spec))
-        store.record_ids(own_in_spec | set(response.offered_ids))
+        store.record_ids(ids_for_spec(self.log, session.spec))
+        store.record_ids(response.offered_ids)
         # Ship content the responder asked for; ask for content we lack.
         self._send_content(session.peer, response.requested_ids)
         missing = [

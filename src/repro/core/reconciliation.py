@@ -88,6 +88,9 @@ def sketch_for_spec(
 
 def ids_for_spec(log: TransactionLog, spec: SplitSpec) -> List[int]:
     """All local ids inside a split spec."""
+    if spec.bit_level == 0:
+        # matches() is vacuously true at bit level 0; skip the filter.
+        return log.items_in_cells(spec.cells)
     return [i for i in log.items_in_cells(spec.cells) if spec.matches(i)]
 
 

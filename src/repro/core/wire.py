@@ -70,7 +70,7 @@ def _float_field(value: Any, name: str) -> Optional[str]:
 def _int_tuple(value: Any, name: str) -> Optional[str]:
     if not isinstance(value, tuple):
         return f"{name}: expected tuple, got {type(value).__name__}"
-    if not all(_is_int(item) for item in value):
+    if not all(map(_is_int, value)):
         return f"{name}: non-integer element"
     return None
 
@@ -85,6 +85,19 @@ def _check_header(header: Any, name: str = "header") -> Optional[str]:
     error = _typed(header, CommitmentHeader, name)
     if error:
         return error
+    # Headers are frozen snapshots shared across many messages (a node
+    # reuses its cached signed header until its log advances), so a clean
+    # verdict is memoized per object.  Only validity is cached: failure
+    # reasons embed ``name``, which varies between call sites.
+    if header.__dict__.get("_schema_ok"):
+        return None
+    verdict = _check_header_fields(header, name)
+    if verdict is None:
+        object.__setattr__(header, "_schema_ok", True)
+    return verdict
+
+
+def _check_header_fields(header: Any, name: str) -> Optional[str]:
     for reason in (
         _typed(header.signer, PublicKey, f"{name}.signer"),
         _int_field(header.seq, f"{name}.seq", minimum=0),
@@ -106,6 +119,17 @@ def _check_spec(spec: Any, name: str = "spec") -> Optional[str]:
     error = _typed(spec, SplitSpec, name)
     if error:
         return error
+    # Specs are frozen and echoed back verbatim in responses/splits; cache
+    # clean verdicts per object like _check_header does.
+    if spec.__dict__.get("_schema_ok"):
+        return None
+    verdict = _check_spec_fields(spec, name)
+    if verdict is None:
+        object.__setattr__(spec, "_schema_ok", True)
+    return verdict
+
+
+def _check_spec_fields(spec: Any, name: str) -> Optional[str]:
     for reason in (
         _int_tuple(spec.cells, f"{name}.cells"),
         _int_field(spec.bit_level, f"{name}.bit_level", minimum=0),

@@ -27,12 +27,13 @@ class SignatureError(ValueError):
 class PublicKey:
     """An immutable, hashable public identity derived from a private seed."""
 
-    __slots__ = ("_raw",)
+    __slots__ = ("_raw", "_hash")
 
     def __init__(self, raw: bytes):
         if len(raw) != 32:
             raise ValueError(f"public key must be 32 bytes, got {len(raw)}")
         self._raw = raw
+        self._hash = hash(raw)
 
     @property
     def raw(self) -> bytes:
@@ -54,7 +55,7 @@ class PublicKey:
         return self._raw < other._raw
 
     def __hash__(self) -> int:
-        return hash(self._raw)
+        return self._hash  # precomputed: keys are dict keys everywhere
 
     def __repr__(self) -> str:
         return f"PublicKey({self.short()})"

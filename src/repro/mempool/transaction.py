@@ -66,8 +66,17 @@ class Transaction:
         )
 
     def signature_valid(self) -> bool:
-        """Verify the client signature."""
-        return verify(self.sender, self.signing_bytes(), self.signature)
+        """Verify the client signature (memoized per instance).
+
+        Transactions are frozen, so the verdict is fixed at construction;
+        the same object is prevalidated once per receiving node, and the
+        repeat verifications were pure overhead.
+        """
+        cached = self.__dict__.get("_sig_ok")
+        if cached is None:
+            cached = verify(self.sender, self.signing_bytes(), self.signature)
+            object.__setattr__(self, "_sig_ok", cached)
+        return cached
 
     def wire_size(self) -> int:
         """On-wire size in bytes (the declared transaction size)."""

@@ -7,9 +7,11 @@ received (Transaction Selection in Received Order).  The log is therefore
 an ordered, append-only sequence of transaction ids, with:
 
 * the node's :class:`~repro.bloomclock.BloomClock` over the same ids;
-* one incremental :class:`~repro.sketch.PinSketch` per Bloom-Clock cell,
-  so a sketch restricted to any flagged cell subset is an O(cells) XOR
-  (sketches are linear) -- this is how commitments stay cheap to produce;
+* one incremental *packed* sketch per Bloom-Clock cell (the whole syndrome
+  vector as one big integer, m bits per slot), so a sketch restricted to
+  any flagged cell subset is an O(cells) chain of single-integer XORs
+  (sketches are linear, and slot-wise XOR never carries) -- this is how
+  commitments stay cheap to produce;
 * content storage: ids can be committed before their transaction bytes
   arrive ("share the transaction IDs, and only later selectively share the
   transaction content", section 2.3 stage II).
@@ -21,7 +23,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.bloomclock import BloomClock
 from repro.mempool.transaction import Transaction
-from repro.sketch import PinSketch
+from repro.sketch import PinSketch, sketch_syndromes_packed
 
 
 class TransactionLog:
@@ -37,9 +39,19 @@ class TransactionLog:
         self._content: Dict[int, Transaction] = {}
         self._invalid: Set[int] = set()
         self._cell_items: List[List[int]] = [[] for _ in range(clock_cells)]
-        self._cell_sketches: List[PinSketch] = [
-            PinSketch(sketch_capacity, sketch_bits) for _ in range(clock_cells)
-        ]
+        # Per-cell and whole-log sketches in packed form: the syndrome
+        # vector as one big integer (m bits per slot), so both the
+        # per-append update and the cell-subset combine are single-integer
+        # XORs (see pack_syndromes in repro.sketch.pinsketch).
+        self._cell_packed: List[int] = [0] * clock_cells
+        self._full_packed: int = 0
+        # Combined-sketch memo: per-cell append generations validate cached
+        # (cells, capacity) -> syndromes entries, so repeated sketch
+        # requests between appends (several peers syncing the same spec in
+        # one round) skip the combine-and-unpack entirely.
+        self._cell_gen: List[int] = [0] * clock_cells
+        self._sketch_memo: Dict[tuple, tuple] = {}
+        self._all_cells = tuple(range(clock_cells))
 
     # --------------------------------------------------------------- queries
 
@@ -94,7 +106,13 @@ class TransactionLog:
         self.clock.add(sketch_id)
         cell = self.clock.cell_of(sketch_id)
         self._cell_items[cell].append(sketch_id)
-        self._cell_sketches[cell].add(sketch_id)
+        # One packed-vector fetch feeds both the cell and whole-log
+        # sketches; each update is a single big-integer XOR.
+        packed = sketch_syndromes_packed(sketch_id, self.sketch_capacity,
+                                         self.sketch_bits)
+        self._cell_packed[cell] ^= packed
+        self._full_packed ^= packed
+        self._cell_gen[cell] += 1
         return True
 
     def append_many(self, sketch_ids: Iterable[int]) -> List[int]:
@@ -135,14 +153,45 @@ class TransactionLog:
             raise ValueError(
                 f"capacity {capacity} exceeds maintained {self.sketch_capacity}"
             )
-        combined = PinSketch(capacity, self.sketch_bits)
-        for cell in cells:
-            combined = combined ^ self._cell_sketches[cell].truncated(capacity)
+        cell_tuple = tuple(cells)
+        if cell_tuple == self._all_cells:
+            # XOR over every cell == the incrementally maintained whole-log
+            # packed sketch.
+            gen = len(self._order)
+            packed = self._full_packed
+        else:
+            cell_gen = self._cell_gen
+            # Strictly increasing with any append into the covered cells,
+            # so a matching sum proves the cached combine is still current.
+            gen = sum(cell_gen[cell] for cell in cell_tuple)
+            packed = None
+        memo = self._sketch_memo
+        key = (cell_tuple, capacity)
+        hit = memo.get(key)
+        if hit is not None and hit[0] == gen:
+            combined = PinSketch(capacity, self.sketch_bits)
+            combined.load_syndromes(hit[1])
+            return combined
+        if packed is None:
+            cell_packed = self._cell_packed
+            packed = 0
+            for cell in cell_tuple:
+                packed ^= cell_packed[cell]
+        # from_packed drops slots beyond ``capacity``, which is exactly the
+        # truncation semantics of the old per-cell combine.
+        combined = PinSketch.from_packed(packed, capacity, self.sketch_bits)
+        if len(memo) >= 64:
+            memo.clear()
+        memo[key] = (gen, combined.syndromes_view())
         return combined
 
     def full_sketch(self, capacity: Optional[int] = None) -> PinSketch:
         """Sketch of the entire log."""
         return self.sketch_for_cells(range(self.clock.cells), capacity)
+
+    def cell_count(self, cell: int) -> int:
+        """Number of committed ids in one Bloom-Clock cell (no copy)."""
+        return len(self._cell_items[cell])
 
     def items_in_cells(self, cells: Iterable[int]) -> List[int]:
         """All ids mapping into the given Bloom-Clock cells."""

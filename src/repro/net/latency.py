@@ -11,11 +11,19 @@ clusters with small intra-cluster and large inter-cluster RTTs spanning the
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 class LatencyModel:
     """Base class: maps (sender, recipient) to a one-way delay in seconds."""
+
+    #: When ``True``, ``delay(sender, recipient)`` returns the same value
+    #: on every call for a given ordered pair (it may draw randomness on
+    #: the *first* call, but is fixed afterwards).  The network layer uses
+    #: this to memoize delays per ordered pair on its hot send path.
+    #: Models whose delay varies call-to-call must override this with
+    #: ``False``.
+    PAIR_STABLE = True
 
     def delay(self, sender: int, recipient: int) -> float:
         """One-way delay for a message between two node indices."""
@@ -35,7 +43,15 @@ class ConstantLatencyModel(LatencyModel):
 
 
 class UniformLatencyModel(LatencyModel):
-    """Delays drawn uniformly per (ordered) pair, fixed after first use."""
+    """Delays drawn uniformly per *unordered* pair, fixed after first use.
+
+    The link is symmetric: ``delay(a, b) == delay(b, a)``, both directions
+    sharing one draw keyed by ``(min, max)`` of the two node ids -- the
+    same modelling choice as the symmetric city matrix of
+    :class:`CityLatencyModel`.  The first query for a pair draws from
+    ``rng``; every later query (either direction) returns the cached
+    value.
+    """
 
     def __init__(self, low_s: float, high_s: float, rng: random.Random):
         if not 0 <= low_s <= high_s:
@@ -84,6 +100,12 @@ class CityLatencyModel(LatencyModel):
     up to 10% pair-specific jitter, which yields ~4 ms same-city to ~170 ms
     antipodal one-way delays (8-340 ms RTT), matching the real dataset's
     range.
+
+    Sized for paper-scale networks: the node-to-city assignment is pure
+    round-robin arithmetic, so no per-node table is materialized for
+    ``delay`` no matter how many nodes the network has (1,000 or 10,000
+    alike) -- only the fixed 32x32 city matrix is precomputed, flattened
+    row-major so a lookup is a single list index.
     """
 
     BASE_DELAY_S = 0.002
@@ -93,10 +115,12 @@ class CityLatencyModel(LatencyModel):
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
         self._cities = synthetic_city_table(rng)
-        self._assignment = [i % len(self._cities) for i in range(num_nodes)]
+        self._num_nodes = num_nodes
         self._rng = rng
         n = len(self._cities)
-        self._city_delay = [[0.0] * n for _ in range(n)]
+        self._num_cities = n
+        # Flattened row-major city->city delay matrix (32*32 floats).
+        flat = [0.0] * (n * n)
         for a in range(n):
             for b in range(a, n):
                 _, xa, ya = self._cities[a]
@@ -104,14 +128,27 @@ class CityLatencyModel(LatencyModel):
                 distance = ((xa - xb) ** 2 + (ya - yb) ** 2) ** 0.5
                 delay = self.BASE_DELAY_S + self.PER_UNIT_S * distance
                 delay *= 1.0 + rng.uniform(0.0, 0.10)
-                self._city_delay[a][b] = delay
-                self._city_delay[b][a] = delay
+                flat[a * n + b] = delay
+                flat[b * n + a] = delay
+        self._city_delay_flat = flat
+        # Materialized lazily (only if a caller wants the per-node view).
+        self._assignment_cache: Optional[List[int]] = None
+
+    @property
+    def _assignment(self) -> List[int]:
+        """Lazily materialized per-node city assignment (round-robin)."""
+        if self._assignment_cache is None:
+            self._assignment_cache = [
+                i % self._num_cities for i in range(self._num_nodes)
+            ]
+        return self._assignment_cache
 
     def city_of(self, node: int) -> str:
         """Name of the city a node index is assigned to."""
-        return self._cities[self._assignment[node]][0]
+        return self._cities[(node % self._num_nodes) % self._num_cities][0]
 
     def delay(self, sender: int, recipient: int) -> float:
-        ca = self._assignment[sender % len(self._assignment)]
-        cb = self._assignment[recipient % len(self._assignment)]
-        return self._city_delay[ca][cb]
+        n = self._num_cities
+        ca = (sender % self._num_nodes) % n
+        cb = (recipient % self._num_nodes) % n
+        return self._city_delay_flat[ca * n + cb]

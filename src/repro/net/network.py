@@ -16,6 +16,17 @@ through :meth:`Network.set_fault_injector`; see :mod:`repro.net.chaos`.
 Every dropped message is attributed to a reason in ``drop_reasons``
 (``crashed`` / ``blocked_link`` / ``partition`` / ``hook`` / ``chaos`` /
 ``no_endpoint``); ``dropped_messages`` remains the running total.
+
+Hot path: when no fault of any kind is installed (no crashes, blocked
+links, partition, delivery hooks or chaos injector -- the common case for
+clean runs), ``send`` takes a precomputed fast path that skips the whole
+branch chain, reads the modelled delay from a per-ordered-pair memo and
+schedules delivery without allocating a cancellation handle.  Installing
+*any* fault flips the flag off; clearing them all flips it back on.  The
+tracer guard is likewise hoisted: a module-level ``_TRACE`` binding is
+rebound by :func:`repro.obs.on_tracer_change` and is ``None`` whenever
+tracing is off, so the per-message tracing cost with tracing disabled is
+one global load and branch.
 """
 
 from __future__ import annotations
@@ -29,6 +40,21 @@ from repro.net.message import Message
 from repro.sim.loop import EventLoop
 
 NodeId = int
+
+#: The installed tracer when tracing is enabled, ``None`` otherwise.
+#: Rebound by :func:`_rebind_tracer` on every ``obs.set_tracer``; hot
+#: call sites test ``_TRACE is not None`` instead of re-reading
+#: ``obs.TRACER.enabled`` per message.
+_TRACE = None
+
+
+def _rebind_tracer(tracer) -> None:
+    """Keep the module-level ``_TRACE`` fast-path guard current."""
+    global _TRACE
+    _TRACE = tracer if tracer.enabled else None
+
+
+obs.on_tracer_change(_rebind_tracer)
 
 
 class Endpoint:
@@ -107,6 +133,9 @@ class Network:
         self.latency_model = latency_model or ConstantLatencyModel(0.05)
         self.nodes: Dict[NodeId, Endpoint] = {}
         self.meters: Dict[NodeId, BandwidthMeter] = {}
+        # (endpoint, meter) per registered node, bound once at register
+        # time so delivery costs one dict lookup instead of two.
+        self._routes: Dict[NodeId, Tuple[Endpoint, BandwidthMeter]] = {}
         self._crashed: Set[NodeId] = set()
         self._blocked_links: Set[Tuple[NodeId, NodeId]] = set()
         self._partition: Optional[List[Set[NodeId]]] = None
@@ -119,6 +148,14 @@ class Network:
         self._fault_injector: Optional[
             Callable[[Message, float], List[Tuple[float, Message]]]
         ] = None
+        # Per-ordered-pair delay memo; only for models declaring their
+        # delays stable per pair (all bundled models do).
+        self._delay_cache: Optional[Dict[Tuple[NodeId, NodeId], float]] = (
+            {} if getattr(self.latency_model, "PAIR_STABLE", False) else None
+        )
+        # True while no fault of any kind is installed; send() then skips
+        # the crashed/blocked/partition/hook/injector branch chain.
+        self._fast_send = True
 
     # ----------------------------------------------------------- membership
 
@@ -128,7 +165,9 @@ class Network:
         if node_id in self.nodes:
             raise ValueError(f"node id {node_id} already registered")
         self.nodes[node_id] = endpoint
-        self.meters[node_id] = BandwidthMeter()
+        meter = BandwidthMeter()
+        self.meters[node_id] = meter
+        self._routes[node_id] = (endpoint, meter)
 
     def unregister(self, node_id: NodeId) -> None:
         """Detach a node (it stops receiving); meter is retained.
@@ -138,6 +177,7 @@ class Network:
         of silently inheriting old crashes, blocked links or partitions.
         """
         self.nodes.pop(node_id, None)
+        self._routes.pop(node_id, None)
         self._crashed.discard(node_id)
         self._blocked_links = {
             link for link in self._blocked_links if node_id not in link
@@ -145,16 +185,29 @@ class Network:
         if self._partition is not None:
             for group in self._partition:
                 group.discard(node_id)
+        self._refresh_fast_path()
 
     # ------------------------------------------------------- fault injection
+
+    def _refresh_fast_path(self) -> None:
+        """Recompute the no-faults flag after any fault-state mutation."""
+        self._fast_send = not (
+            self._crashed
+            or self._blocked_links
+            or self._partition is not None
+            or self._delivery_hooks
+            or self._fault_injector is not None
+        )
 
     def crash(self, node_id: NodeId) -> None:
         """Silently drop all traffic to and from ``node_id``."""
         self._crashed.add(node_id)
+        self._fast_send = False
 
     def recover(self, node_id: NodeId) -> None:
         """Undo :meth:`crash`."""
         self._crashed.discard(node_id)
+        self._refresh_fast_path()
 
     def is_crashed(self, node_id: NodeId) -> bool:
         """Whether a node is currently crashed (offline)."""
@@ -163,22 +216,27 @@ class Network:
     def block_link(self, sender: NodeId, recipient: NodeId) -> None:
         """Drop messages on one directed link."""
         self._blocked_links.add((sender, recipient))
+        self._fast_send = False
 
     def unblock_link(self, sender: NodeId, recipient: NodeId) -> None:
         """Undo :meth:`block_link`."""
         self._blocked_links.discard((sender, recipient))
+        self._refresh_fast_path()
 
     def partition(self, groups: List[Set[NodeId]]) -> None:
         """Install a partition: messages between different groups are dropped."""
         self._partition = groups
+        self._fast_send = False
 
     def heal_partition(self) -> None:
         """Remove any installed partition."""
         self._partition = None
+        self._refresh_fast_path()
 
     def add_delivery_hook(self, hook: Callable[[Message], bool]) -> None:
         """Register a predicate consulted per message; ``False`` drops it."""
         self._delivery_hooks.append(hook)
+        self._fast_send = False
 
     def set_fault_injector(
         self,
@@ -194,19 +252,20 @@ class Network:
         corrupt it.
         """
         self._fault_injector = injector
+        self._refresh_fast_path()
 
     def _drop(self, reason: str, message: Optional[Message] = None) -> None:
         self.dropped_messages += 1
         self.drop_reasons[reason] += 1
-        _t = obs.TRACER
-        if _t.enabled:
+        if _TRACE is not None:
             attrs = {"reason": reason}
             if message is not None:
                 attrs["msg_type"] = message.msg_type
                 attrs["sender"] = message.sender
                 attrs["recipient"] = message.recipient
-            _t.event("net.drop", t=self.loop.now,
-                     node_id=message.recipient if message else None, **attrs)
+            _TRACE.event("net.drop", t=self.loop.now,
+                         node_id=message.recipient if message else None,
+                         **attrs)
 
     def drop_breakdown(self) -> Dict[str, int]:
         """Per-reason drop counts (copy); reasons never hit are absent."""
@@ -221,6 +280,18 @@ class Network:
         return False
 
     # --------------------------------------------------------------- sending
+
+    def _pair_delay(self, sender: NodeId, recipient: NodeId) -> float:
+        """Modelled one-way delay, memoized per ordered pair when stable."""
+        cache = self._delay_cache
+        if cache is None:
+            return self.latency_model.delay(sender, recipient)
+        key = (sender, recipient)
+        delay = cache.get(key)
+        if delay is None:
+            delay = self.latency_model.delay(sender, recipient)
+            cache[key] = delay
+        return delay
 
     def send(
         self,
@@ -242,10 +313,15 @@ class Network:
         meter = self.meters.get(sender)
         if meter is not None:
             meter.record_send(message)
-        _t = obs.TRACER
-        if _t.enabled:
-            _t.message_event("net.send", self.loop.now, msg_type, sender,
-                             recipient, message.wire_bytes)
+        if _TRACE is not None:
+            _TRACE.message_event("net.send", self.loop.now, msg_type, sender,
+                                 recipient, message.wire_bytes)
+        if self._fast_send:
+            # No faults installed anywhere: skip the whole branch chain.
+            self.loop.schedule_later(
+                self._pair_delay(sender, recipient), self._deliver, message
+            )
+            return
         if sender in self._crashed or recipient in self._crashed:
             self._drop("crashed", message)
             return
@@ -259,34 +335,33 @@ class Network:
             if not hook(message):
                 self._drop("hook", message)
                 return
-        delay = self.latency_model.delay(sender, recipient)
+        delay = self._pair_delay(sender, recipient)
         if self._fault_injector is not None:
             deliveries = self._fault_injector(message, delay)
             if not deliveries:
                 self._drop("chaos", message)
                 return
             for when, mutated in deliveries:
-                self.loop.call_later(when, self._deliver, mutated)
+                self.loop.schedule_later(when, self._deliver, mutated)
             return
-        self.loop.call_later(delay, self._deliver, message)
+        self.loop.schedule_later(delay, self._deliver, message)
 
     def _deliver(self, message: Message) -> None:
-        if message.recipient in self._crashed:
+        recipient = message.recipient
+        if self._crashed and recipient in self._crashed:
             self._drop("crashed", message)
             return
-        endpoint = self.nodes.get(message.recipient)
-        if endpoint is None:
+        route = self._routes.get(recipient)
+        if route is None:
             self._drop("no_endpoint", message)
             return
-        meter = self.meters.get(message.recipient)
-        if meter is not None:
-            meter.record_recv(message)
+        endpoint, meter = route
+        meter.record_recv(message)
         self.delivered_messages += 1
-        _t = obs.TRACER
-        if _t.enabled:
-            _t.message_event("net.deliver", self.loop.now, message.msg_type,
-                             message.sender, message.recipient,
-                             message.wire_bytes)
+        if _TRACE is not None:
+            _TRACE.message_event("net.deliver", self.loop.now,
+                                 message.msg_type, message.sender, recipient,
+                                 message.wire_bytes)
         endpoint.on_message(message)
 
     # ------------------------------------------------------------ statistics

@@ -41,16 +41,39 @@ from repro.obs.tracer import (
 #: use (module attribute lookup stays current after ``set_tracer``).
 TRACER = NULL_TRACER
 
+#: Callbacks invoked with the new tracer on every :func:`set_tracer`.
+#: Hot-path modules use this to rebind a module-level guard once per
+#: install instead of re-reading ``obs.TRACER.enabled`` per event (see
+#: :func:`on_tracer_change`).
+_TRACER_HOOKS = []
+
 
 def get_tracer():
     """The currently installed tracer (the null tracer by default)."""
     return TRACER
 
 
+def on_tracer_change(hook) -> None:
+    """Register ``hook(tracer)`` to run on every :func:`set_tracer`.
+
+    The hook is also invoked immediately with the current tracer, so a
+    module can register at import time and hold a binding that is always
+    current.  This is the mechanism behind the per-message fast paths:
+    ``repro.net.network`` keeps a module-level ``_TRACE`` that is the
+    tracer when tracing is enabled and ``None`` otherwise, reducing the
+    per-message cost with tracing off to a single global load and branch
+    (no attribute lookups, no no-op call frames).
+    """
+    _TRACER_HOOKS.append(hook)
+    hook(TRACER)
+
+
 def set_tracer(tracer) -> None:
     """Install a tracer process-wide (pass ``NULL_TRACER`` to disable)."""
     global TRACER
     TRACER = tracer
+    for hook in _TRACER_HOOKS:
+        hook(tracer)
 
 
 def clear_tracer() -> None:
@@ -92,6 +115,7 @@ __all__ = [
     "export_chrome",
     "export_jsonl",
     "get_tracer",
+    "on_tracer_change",
     "set_tracer",
     "trace_lines",
     "use_tracer",

@@ -4,13 +4,38 @@ The loop maintains a priority queue of timestamped events.  ``run_until``
 pops events in (time, sequence) order, advancing the clock to each event's
 timestamp before invoking its callback.  Ties are broken by insertion order,
 which makes runs fully deterministic.
+
+Hot-path representation
+-----------------------
+
+Heap entries are plain ``[time, seq, callback, args]`` lists rather than
+:class:`Event` instances.  ``heapq`` orders entries with ``<``, and list
+comparison runs entirely in C: because ``seq`` is unique, a comparison
+never proceeds past the ``(time, seq)`` prefix, so ``callback`` and
+``args`` are never compared.  The old object-based heap paid a Python
+``Event.__lt__`` call for every sift step; this layout removes that cost
+while keeping the exact ``(time, seq)`` order, so two runs with the same
+seed execute callbacks in byte-identical order.
+
+:class:`Event` remains the public cancellation handle returned by
+:meth:`EventLoop.call_at` / :meth:`EventLoop.call_later`; it wraps the
+heap entry directly.  Cancellation tombstones an entry in place (the
+callback slot becomes ``None``), which the pop loop skips with one ``is
+None`` test -- no side table, no hashing.  Fire-and-forget call sites
+that never cancel (message delivery, workload injection) can use
+:meth:`EventLoop.schedule_at` / :meth:`EventLoop.schedule_later`, which
+skip the handle allocation entirely.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional
+
+#: Heap entry layout: ``[time, seq, callback, args]``.  ``callback`` is
+#: ``None`` for a cancelled (tombstoned) entry.
+_TIME, _SEQ, _CALLBACK, _ARGS = 0, 1, 2, 3
 
 
 class SimulationError(RuntimeError):
@@ -22,31 +47,50 @@ class Event:
 
     Events are returned by :meth:`EventLoop.call_at` /
     :meth:`EventLoop.call_later` and can be cancelled.  A cancelled event
-    stays in the heap until it is popped or the owning loop compacts its
-    heap (see :meth:`EventLoop._maybe_compact`).
+    stays in the heap as a tombstone until it is popped or the owning loop
+    compacts its heap (see :meth:`EventLoop._maybe_compact`).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_loop")
+    __slots__ = ("_entry", "_loop")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any],
-                 args: Tuple, loop: Optional["EventLoop"] = None):
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.args = args
-        self.cancelled = False
+    def __init__(self, entry: List[Any], loop: Optional["EventLoop"] = None):
+        self._entry = entry
         self._loop = loop
+
+    @property
+    def time(self) -> float:
+        """Absolute simulated timestamp the callback is scheduled for."""
+        return self._entry[_TIME]
+
+    @property
+    def seq(self) -> int:
+        """Insertion sequence number (the deterministic tie-breaker)."""
+        return self._entry[_SEQ]
+
+    @property
+    def callback(self) -> Optional[Callable[..., Any]]:
+        """The scheduled callable, or ``None`` once cancelled."""
+        return self._entry[_CALLBACK]
+
+    @property
+    def args(self) -> tuple:
+        """Positional arguments the callback will be invoked with."""
+        return self._entry[_ARGS]
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this event."""
+        return self._entry[_CALLBACK] is None
 
     def cancel(self) -> None:
         """Prevent the callback from running when the event is popped."""
-        if self.cancelled:
+        entry = self._entry
+        if entry[_CALLBACK] is None:
             return
-        self.cancelled = True
+        entry[_CALLBACK] = None
+        entry[_ARGS] = ()  # release argument references immediately
         if self._loop is not None:
             self._loop._note_cancelled()
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -73,7 +117,7 @@ class EventLoop:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._heap: List[Event] = []
+        self._heap: List[List[Any]] = []
         self._seq = itertools.count()
         self._processed = 0
         self._cancelled = 0
@@ -111,9 +155,40 @@ class EventLoop:
             raise SimulationError(
                 f"cannot schedule event at t={when:.6f} before now={self._now:.6f}"
             )
-        event = Event(when, next(self._seq), callback, args, loop=self)
-        heapq.heappush(self._heap, event)
-        return event
+        entry = [when, next(self._seq), callback, args]
+        heapq.heappush(self._heap, entry)
+        return Event(entry, self)
+
+    def call_later(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, when: float, callback: Callable[..., Any],
+                    *args: Any) -> None:
+        """:meth:`call_at` without a cancellation handle (hot path).
+
+        Fire-and-forget call sites (network delivery, workload injection)
+        schedule millions of events and never cancel them; skipping the
+        :class:`Event` allocation makes those sites one heap push.
+        Scheduling order, and therefore execution order, is identical to
+        :meth:`call_at`.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={when:.6f} before now={self._now:.6f}"
+            )
+        heapq.heappush(self._heap, [when, next(self._seq), callback, args])
+
+    def schedule_later(self, delay: float, callback: Callable[..., Any],
+                       *args: Any) -> None:
+        """:meth:`call_later` without a cancellation handle (hot path)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        heapq.heappush(
+            self._heap, [self._now + delay, next(self._seq), callback, args]
+        )
 
     def _note_cancelled(self) -> None:
         """Called by :meth:`Event.cancel`; compacts when tombstones dominate.
@@ -129,20 +204,15 @@ class EventLoop:
         self._maybe_compact()
 
     def _maybe_compact(self) -> None:
-        if (
-            len(self._heap) >= self.COMPACT_MIN_SIZE
-            and self._cancelled * 2 > len(self._heap)
-        ):
-            self._heap = [e for e in self._heap if not e.cancelled]
-            heapq.heapify(self._heap)
+        heap = self._heap
+        if len(heap) >= self.COMPACT_MIN_SIZE and self._cancelled * 2 > len(heap):
+            # In-place rebuild: ``run_until``/``step`` hold a reference to
+            # the heap list across callbacks, so the object identity must
+            # survive compaction.
+            heap[:] = [e for e in heap if e[_CALLBACK] is not None]
+            heapq.heapify(heap)
             self._cancelled = 0
             self._compactions += 1
-
-    def call_later(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
-        """Schedule ``callback(*args)`` after ``delay`` simulated seconds."""
-        if delay < 0:
-            raise SimulationError(f"negative delay: {delay}")
-        return self.call_at(self._now + delay, callback, *args)
 
     def run_until(self, deadline: float) -> None:
         """Run all events with ``time <= deadline``, then set the clock to it.
@@ -156,15 +226,18 @@ class EventLoop:
                 f"deadline t={deadline:.6f} is before now={self._now:.6f}"
             )
         self._running = True
+        heap = self._heap  # identity survives compaction (see above)
+        pop = heapq.heappop
         try:
-            while self._heap and self._heap[0].time <= deadline:
-                event = heapq.heappop(self._heap)
-                if event.cancelled:
+            while heap and heap[0][0] <= deadline:
+                entry = pop(heap)
+                callback = entry[_CALLBACK]
+                if callback is None:
                     self._cancelled -= 1
                     continue
-                self._now = event.time
+                self._now = entry[_TIME]
                 self._processed += 1
-                event.callback(*event.args)
+                callback(*entry[_ARGS])
             self._now = deadline
         finally:
             self._running = False
@@ -179,15 +252,17 @@ class EventLoop:
         Returns the executed event, or ``None`` when the heap is empty.
         Useful in tests that want to observe one delivery at a time.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            callback = entry[_CALLBACK]
+            if callback is None:
                 self._cancelled -= 1
                 continue
-            self._now = event.time
+            self._now = entry[_TIME]
             self._processed += 1
-            event.callback(*event.args)
-            return event
+            callback(*entry[_ARGS])
+            return Event(entry, self)
         return None
 
     def drain(self, max_events: int = 1_000_000) -> int:

@@ -15,7 +15,14 @@ Submodules:
 """
 
 from repro.sketch.gf import GF2m, default_field
-from repro.sketch.pinsketch import PinSketch, SketchDecodeError, sketch_syndromes
+from repro.sketch.pinsketch import (
+    PinSketch,
+    SketchDecodeError,
+    pack_syndromes,
+    sketch_syndromes,
+    sketch_syndromes_packed,
+    unpack_syndromes,
+)
 from repro.sketch.partition import PartitionedReconciler, ReconcileStats
 
 __all__ = [
@@ -25,5 +32,8 @@ __all__ = [
     "ReconcileStats",
     "SketchDecodeError",
     "default_field",
+    "pack_syndromes",
     "sketch_syndromes",
+    "sketch_syndromes_packed",
+    "unpack_syndromes",
 ]

@@ -24,7 +24,10 @@ Performance layers (docs/architecture.md has the full map):
 
 from __future__ import annotations
 
+import struct
 from collections import OrderedDict
+from functools import lru_cache
+from operator import xor as _xor
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.metrics.caches import register_cache
@@ -169,6 +172,62 @@ class _SyndromeCache:
 _SYNDROMES = _SyndromeCache()
 
 
+# ---------------------------------------------------------------------------
+# Packed syndrome vectors: one big integer, m bits per slot.
+#
+# XOR over GF(2^m) vectors is slot-independent (no carries), so XOR-ing the
+# packed integers is *exactly* the element-wise XOR of the vectors -- one
+# C-level operation regardless of capacity.  The append-only transaction log
+# maintains its per-cell and whole-log sketches in this form and unpacks
+# only when a PinSketch object must be materialised for the wire.
+# ---------------------------------------------------------------------------
+
+_STRUCT_CODES = {8: "B", 16: "H", 32: "I", 64: "Q"}
+
+
+@lru_cache(maxsize=64)
+def _slot_struct(capacity: int, m: int) -> Optional[struct.Struct]:
+    code = _STRUCT_CODES.get(m)
+    return struct.Struct(f"<{capacity}{code}") if code else None
+
+
+def pack_syndromes(vector: Sequence[int], m: int) -> int:
+    """Pack a syndrome vector into one integer (slot ``i`` at bits ``m*i``)."""
+    packer = _slot_struct(len(vector), m)
+    if packer is not None:
+        return int.from_bytes(packer.pack(*vector), "little")
+    packed = 0
+    for value in reversed(vector):
+        packed = (packed << m) | value
+    return packed
+
+
+def unpack_syndromes(packed: int, capacity: int, m: int) -> List[int]:
+    """First ``capacity`` slots of a packed vector (inverse of pack).
+
+    Extra high slots are ignored, so truncating a packed sketch to a lower
+    capacity is implicit -- the same semantics as :meth:`PinSketch.truncated`.
+    """
+    packer = _slot_struct(capacity, m)
+    if packer is not None:
+        mask = (1 << (m * capacity)) - 1
+        return list(packer.unpack((packed & mask).to_bytes(packer.size, "little")))
+    mask = (1 << m) - 1
+    return [(packed >> (m * i)) & mask for i in range(capacity)]
+
+
+def sketch_syndromes_packed(element: int, capacity: int, m: int) -> int:
+    """Packed form of :func:`sketch_syndromes`, cached alongside it."""
+    view = _SYNDROMES.get(element, m, capacity)
+    entry = _SYNDROMES._entries[(element, m)]
+    packed_views = entry.setdefault("packed", {})
+    packed = packed_views.get(capacity)
+    if packed is None:
+        packed = pack_syndromes(view, m)
+        packed_views[capacity] = packed
+    return packed
+
+
 def sketch_syndromes(element: int, capacity: int, m: int) -> Tuple[int, ...]:
     """Odd power sums ``element^1, element^3, ..., element^(2t-1)``.
 
@@ -241,11 +300,14 @@ class PinSketch:
     # ------------------------------------------------------------- mutation
 
     def add(self, element: int) -> None:
-        """Toggle ``element`` in the sketched set (add == remove over GF(2))."""
+        """Toggle ``element`` in the sketched set (add == remove over GF(2)).
+
+        The element-wise XOR runs as one C-level ``map`` sweep over the
+        syndrome vector (the cached view is exactly ``capacity`` long), the
+        dominant per-transaction cost in large simulations.
+        """
         vector = _SYNDROMES.get(element, self.m, self.capacity)
-        syndromes = self._syndromes
-        for i, value in enumerate(vector):
-            syndromes[i] ^= value
+        self._syndromes = list(map(_xor, self._syndromes, vector))
 
     def add_all(self, elements: Iterable[int]) -> None:
         """Toggle every element of ``elements``.
@@ -264,16 +326,15 @@ class PinSketch:
         vectors = _SYNDROMES.get_many(batch, self.m, self.capacity)
         syndromes = self._syndromes
         for vector in vectors:
-            for i, value in enumerate(vector):
-                syndromes[i] ^= value
+            syndromes = list(map(_xor, syndromes, vector))
+        self._syndromes = syndromes
 
     def xor_syndromes(self, vector: Sequence[int]) -> None:
         """XOR a precomputed syndrome vector (at least this capacity) in."""
         if len(vector) < self.capacity:
             raise ValueError("syndrome vector shorter than sketch capacity")
-        syndromes = self._syndromes
-        for i in range(self.capacity):
-            syndromes[i] ^= vector[i]
+        # map stops at the shorter operand, i.e. exactly self.capacity.
+        self._syndromes = list(map(_xor, self._syndromes, vector))
 
     # ------------------------------------------------------------ combining
 
@@ -293,15 +354,83 @@ class PinSketch:
         clone._syndromes = self._syndromes[:capacity]
         return clone
 
+    def xor_accumulate_many(self, sketches: Iterable["PinSketch"]) -> None:
+        """XOR a batch of (>=capacity) sketches into this one in place.
+
+        One call covers a whole cell-subset combine (``TxLog.
+        sketch_for_cells``), replacing per-cell :meth:`xor_accumulate`
+        method dispatch with a single loop over C-level ``map`` sweeps.
+        """
+        m = self.m
+        capacity = self.capacity
+        syndromes = self._syndromes
+        for other in sketches:
+            if other.m != m:
+                raise ValueError(
+                    "cannot combine sketches over different fields"
+                )
+            if other.capacity < capacity:
+                raise ValueError(
+                    f"cannot accumulate capacity {other.capacity} "
+                    f"into capacity {capacity}"
+                )
+            syndromes = list(map(_xor, syndromes, other._syndromes))
+        self._syndromes = syndromes
+
+    def xor_accumulate(self, other: "PinSketch") -> None:
+        """XOR ``other`` into this sketch in place (``other`` may be larger).
+
+        Equivalent to ``self ^ other.truncated(self.capacity)`` without
+        allocating the truncated view or the result sketch -- the shape of
+        the per-cell combine in ``TxLog.sketch_for_cells``, which runs once
+        per (cell, reconciliation round) and dominated profile output
+        before this path existed.
+        """
+        if self.m != other.m:
+            raise ValueError("cannot combine sketches over different fields")
+        if other.capacity < self.capacity:
+            raise ValueError(
+                f"cannot accumulate capacity {other.capacity} "
+                f"into capacity {self.capacity}"
+            )
+        # map stops at the shorter operand, i.e. exactly self.capacity.
+        self._syndromes = list(map(_xor, self._syndromes, other._syndromes))
+
     def __xor__(self, other: "PinSketch") -> "PinSketch":
         if self.m != other.m:
             raise ValueError("cannot combine sketches over different fields")
         capacity = min(self.capacity, other.capacity)
         out = PinSketch(capacity, self.m, self.field)
-        out._syndromes = [
-            self._syndromes[i] ^ other._syndromes[i] for i in range(capacity)
-        ]
+        # map stops at the shorter operand; both are >= capacity.
+        out._syndromes = list(map(_xor, self._syndromes, other._syndromes))
         return out
+
+    @classmethod
+    def from_packed(
+        cls, packed: int, capacity: int, m: int = 32,
+        field: Optional[GF2m] = None,
+    ) -> "PinSketch":
+        """Materialise a sketch from a packed syndrome integer.
+
+        Extra high slots in ``packed`` are dropped, so passing a
+        higher-capacity packed sketch truncates it (linearity makes the
+        packed XOR of many sketches equal to the packed combined sketch).
+        """
+        sketch = cls(capacity, m, field)
+        sketch._syndromes = unpack_syndromes(packed, capacity, m)
+        return sketch
+
+    def syndromes_view(self) -> Tuple[int, ...]:
+        """Immutable snapshot of the syndrome vector (for memo layers)."""
+        return tuple(self._syndromes)
+
+    def load_syndromes(self, syndromes: Sequence[int]) -> None:
+        """Overwrite the syndrome vector (inverse of :meth:`syndromes_view`)."""
+        if len(syndromes) != self.capacity:
+            raise ValueError(
+                f"expected {self.capacity} syndromes, got {len(syndromes)}"
+            )
+        self._syndromes = list(syndromes)
 
     def is_empty(self) -> bool:
         """True when every syndrome is zero (difference is empty or aliased)."""

@@ -1,0 +1,84 @@
+"""Fast path on vs off: same seed, byte-identical observable output.
+
+``Network.send`` takes a precomputed fast path while no fault of any kind
+is installed; installing any fault (here: a no-op delivery hook that
+approves every message) forces the full branch chain.  The two paths must
+be *observably indistinguishable*: identical simulation results, identical
+event counts and identical ``repro.trace/1`` trace exports, line for line.
+Anything less would mean the optimisation changes behaviour, not just
+speed.
+"""
+
+import json
+
+from repro import obs
+from repro.core.config import LOConfig
+from repro.experiments.harness import LOSimulation, SimulationParams
+from repro.metrics.caches import reset_cache_stats
+from repro.obs import Tracer, trace_lines
+from repro.sketch.pinsketch import clear_decode_cache, clear_syndrome_cache
+
+
+def _traced_run(force_slow_path: bool):
+    """One small simulation; returns (summary dict, trace lines)."""
+    # The sketch caches and their hit/miss counters are process-global and
+    # appear in metrics snapshots inside the trace; start both runs from
+    # the same blank state so the comparison sees only the send path.
+    clear_decode_cache()
+    clear_syndrome_cache()
+    reset_cache_stats()
+    tracer = Tracer()
+    with obs.use_tracer(tracer):
+        sim = LOSimulation(SimulationParams(
+            num_nodes=10, seed=1234, config=LOConfig(),
+        ))
+        if force_slow_path:
+            # A hook that approves everything is behaviourally a no-op but
+            # flips the no-faults flag off.
+            sim.network.add_delivery_hook(lambda message: True)
+        assert sim.network._fast_send is (not force_slow_path)
+        injected = sim.inject_workload(rate_per_s=8.0, duration_s=4.0)
+        sim.run(6.0)
+        summary = {
+            "injected": injected,
+            "events_processed": sim.loop.processed_events,
+            "now": sim.loop.now,
+            "delivered": sim.network.delivered_messages,
+            "dropped": sim.network.dropped_messages,
+            "overhead_bytes": sim.total_overhead_bytes(),
+            "latencies": sim.mempool_tracker.all_latencies(),
+            "exposures": sorted(
+                (node_id, sorted(peer.hex() for peer in node.acct.exposed))
+                for node_id, node in sim.nodes.items()
+            ),
+        }
+    # meta=None keeps the export free of wall-clock fields; every line is
+    # then a pure function of the simulation.
+    return summary, trace_lines(tracer)
+
+
+def test_fast_and_slow_send_paths_are_byte_identical():
+    fast_summary, fast_trace = _traced_run(force_slow_path=False)
+    slow_summary, slow_trace = _traced_run(force_slow_path=True)
+    assert json.dumps(fast_summary, sort_keys=True) == \
+        json.dumps(slow_summary, sort_keys=True)
+    assert fast_summary["events_processed"] > 0
+    assert fast_trace == slow_trace  # line-for-line identical export
+
+
+def test_fast_path_reenables_after_faults_clear():
+    sim = LOSimulation(SimulationParams(num_nodes=4, seed=7,
+                                        config=LOConfig()))
+    network = sim.network
+    assert network._fast_send
+    network.crash(0)
+    assert not network._fast_send
+    network.recover(0)
+    assert network._fast_send
+    network.block_link(1, 2)
+    network.partition([{0, 1}, {2, 3}])
+    assert not network._fast_send
+    network.unblock_link(1, 2)
+    assert not network._fast_send  # partition still installed
+    network.heal_partition()
+    assert network._fast_send

@@ -32,6 +32,43 @@ def test_uniform_model_symmetric():
     assert model.delay(2, 7) == model.delay(7, 2)
 
 
+def test_uniform_model_shares_one_draw_per_unordered_pair():
+    # Regression: the docstring used to promise per-*ordered*-pair draws
+    # while the cache keyed on the unordered pair.  The cache's behaviour
+    # is the contract: both directions must consume exactly one RNG draw.
+    class CountingRandom(random.Random):
+        def __init__(self, seed):
+            super().__init__(seed)
+            self.uniform_calls = 0
+
+        def uniform(self, a, b):
+            self.uniform_calls += 1
+            return super().uniform(a, b)
+
+    rng = CountingRandom(3)
+    model = UniformLatencyModel(0.01, 0.1, rng)
+    forward = model.delay(4, 9)
+    backward = model.delay(9, 4)
+    assert forward == backward
+    assert rng.uniform_calls == 1  # the reverse direction hit the cache
+    model.delay(4, 9)
+    assert rng.uniform_calls == 1  # and so do repeats
+
+
+def test_bundled_models_declare_pair_stability():
+    # Network._delay_cache keys off this flag; a model advertising
+    # stability must return the same value on every call for a pair.
+    models = (
+        ConstantLatencyModel(0.05),
+        UniformLatencyModel(0.01, 0.1, random.Random(5)),
+        CityLatencyModel(48, random.Random(5)),
+    )
+    for model in models:
+        assert model.PAIR_STABLE
+        assert model.delay(1, 2) == model.delay(1, 2)
+        assert model.delay(2, 1) == model.delay(2, 1)
+
+
 def test_uniform_model_rejects_bad_range():
     with pytest.raises(ValueError):
         UniformLatencyModel(0.2, 0.1, random.Random(0))

@@ -159,6 +159,55 @@ def test_xor_syndromes_short_vector_rejected():
         sketch.xor_syndromes((1, 2, 3))
 
 
+def test_pack_unpack_roundtrip_struct_and_generic_widths():
+    from repro.sketch import pack_syndromes, unpack_syndromes
+
+    for m in (8, 16, 32, 64):  # struct fast-path widths
+        vector = [1, (1 << m) - 1, 7, 0]
+        packed = pack_syndromes(vector, m)
+        assert unpack_syndromes(packed, 4, m) == vector
+    vector = [1, 4095, 7, 0]  # m=12: generic shift/mask fallback
+    packed = pack_syndromes(vector, 12)
+    assert unpack_syndromes(packed, 4, 12) == vector
+    assert unpack_syndromes(packed, 2, 12) == vector[:2]
+
+
+def test_packed_xor_matches_sketch_xor():
+    from repro.sketch import pack_syndromes
+
+    a, b = PinSketch(capacity=8, m=32), PinSketch(capacity=8, m=32)
+    for x in (10, 20, 30):
+        a.add(x)
+    for x in (20, 30, 40):
+        b.add(x)
+    packed = (pack_syndromes(a.syndromes_view(), 32)
+              ^ pack_syndromes(b.syndromes_view(), 32))
+    combined = PinSketch.from_packed(packed, 8, 32)
+    # Slot-wise XOR never carries across slots, so the packed combine is
+    # exactly the sketch combine.
+    assert combined.syndromes_view() == (a ^ b).syndromes_view()
+    assert sorted(combined.decode()) == [10, 40]
+
+
+def test_from_packed_truncates_high_slots():
+    from repro.sketch import pack_syndromes
+
+    full = PinSketch(capacity=16, m=32)
+    full.add_all(range(1, 6))
+    packed = pack_syndromes(full.syndromes_view(), 32)
+    truncated = PinSketch.from_packed(packed, 8, 32)
+    assert truncated.syndromes_view() == full.truncated(8).syndromes_view()
+
+
+def test_sketch_syndromes_packed_matches_tuple_view():
+    from repro.sketch import sketch_syndromes_packed, unpack_syndromes
+
+    view = sketch_syndromes(54321, 8, 32)
+    packed = sketch_syndromes_packed(54321, 8, 32)
+    assert unpack_syndromes(packed, 8, 32) == list(view)
+    assert sketch_syndromes_packed(54321, 8, 32) == packed  # memoized
+
+
 def test_decode_cache_failure_and_success_paths():
     clear_decode_cache()
     sketch = PinSketch(capacity=3, m=32)

@@ -124,6 +124,71 @@ def test_missing_baseline_is_skipped_not_fatal(tmp_path):
     assert "no committed baseline" in out.getvalue()
 
 
+def test_harness_sim_run_cases_are_watched():
+    payload = _harness_payload()
+    payload["results"] = [
+        {"name": "sim/run/nodes=1000", "ops_per_second": 900.0},
+        {"name": "sweep/serial/tasks=8", "ops_per_second": 5.0},  # not watched
+    ]
+    metrics = trend.watched_metrics("harness", payload)
+    assert metrics["result.sim/run/nodes=1000.ops_per_second"] == 900.0
+    assert "result.sweep/serial/tasks=8.ops_per_second" not in metrics
+
+
+def test_sim_run_case_regression_fails(tmp_path):
+    base, fresh = str(tmp_path / "base"), str(tmp_path / "fresh")
+    slow, fast = _harness_payload(), _harness_payload()
+    fast["results"] = [{"name": "sim/run/nodes=1000", "ops_per_second": 900.0}]
+    slow["results"] = [{"name": "sim/run/nodes=1000", "ops_per_second": 300.0}]
+    _write(base, "harness", fast)
+    _write(fresh, "harness", slow)
+    out = io.StringIO()
+    code = trend.check_dirs(base, fresh, ["harness"], 0.20, out=out)
+    assert code == 1
+    assert "sim/run/nodes=1000" in out.getvalue()
+
+
+def test_require_case_gates_on_fresh_file(tmp_path):
+    base, fresh = str(tmp_path / "base"), str(tmp_path / "fresh")
+    payload = _harness_payload()
+    payload["results"] = [
+        {"name": "sim/run/nodes=1000", "ops_per_second": 900.0}]
+    _write(base, "harness", _harness_payload())  # baseline lacks the case
+    _write(fresh, "harness", payload)
+    out = io.StringIO()
+    assert trend.check_dirs(
+        base, fresh, ["harness"], 0.20,
+        require_cases=["harness:sim/run/nodes=1000"], out=out) == 0
+    assert "required case present" in out.getvalue()
+    # A silently dropped case must hard-fail even when every comparable
+    # metric held steady.
+    _write(fresh, "harness", _harness_payload())
+    assert trend.check_dirs(
+        base, fresh, ["harness"], 0.20,
+        require_cases=["harness:sim/run/nodes=1000"],
+        out=io.StringIO()) == 2
+
+
+def test_require_case_for_uncompared_suite_is_exit_2(tmp_path):
+    base, fresh = str(tmp_path / "base"), str(tmp_path / "fresh")
+    _write(base, "harness", _harness_payload())
+    _write(fresh, "harness", _harness_payload())
+    assert trend.check_dirs(
+        base, fresh, ["harness"], 0.20,
+        require_cases=["sketch:decode/d=64"], out=io.StringIO()) == 2
+
+
+def test_require_case_cli_flag(tmp_path, capsys):
+    base, fresh = str(tmp_path / "base"), str(tmp_path / "fresh")
+    _write(base, "harness", _harness_payload())
+    _write(fresh, "harness", _harness_payload())
+    code = trend.main(["--baseline-dir", base, "--fresh-dir", fresh,
+                       "--suites", "harness",
+                       "--require-case", "harness:sim/run/nodes=1000"])
+    assert code == 2
+    assert "required case" in capsys.readouterr().err
+
+
 def test_main_cli_roundtrip(tmp_path, capsys):
     base, fresh = str(tmp_path / "base"), str(tmp_path / "fresh")
     _write(base, "sketch", _sketch_payload())

@@ -10,9 +10,18 @@ silently across PRs.
 Watched metrics (higher is better):
 
 * ``harness`` -- ``derived.events_per_second`` (whole-system simulation
-  throughput) and ``derived.wall_seconds_per_sim_second`` (inverted);
+  throughput), ``derived.wall_seconds_per_sim_second`` (inverted), and
+  ``ops_per_second`` of every ``sim/run/...`` result case present in
+  *both* files (this covers per-topology rows such as
+  ``sim/run/nodes=1000`` individually);
 * ``sketch``  -- ``ops_per_second`` of every ``decode/...`` result case
   present in *both* files, matched by exact case name.
+
+``--require-case SUITE:NAME`` additionally *demands* that the freshly
+generated suite file contains a result case with that exact name (exit 2
+when absent) -- CI uses it to guarantee the large-topology row keeps
+being produced, since a silently dropped case would otherwise just stop
+being compared.
 
 Micro-benchmarks are only comparable at identical workloads, so a suite
 whose ``params`` differ between baseline and fresh (e.g. a ``--quick`` CI
@@ -72,6 +81,11 @@ def watched_metrics(suite: str, payload: dict) -> Dict[str, float]:
         wall = derived.get("wall_seconds_per_sim_second")
         if wall:  # lower is better: invert so one comparison rule fits all
             metrics["derived.sim_seconds_per_wall_second"] = 1.0 / float(wall)
+        for result in payload.get("results", []):
+            name = result.get("name", "")
+            if name.startswith("sim/run/"):
+                metrics[f"result.{name}.ops_per_second"] = \
+                    float(result["ops_per_second"])
     elif suite == "sketch":
         for result in payload.get("results", []):
             name = result.get("name", "")
@@ -115,21 +129,48 @@ def compare_suite(
         yield (status, name, base, new, change)
 
 
+def _parse_required(require_cases: Optional[List[str]]) -> Dict[str, List[str]]:
+    required: Dict[str, List[str]] = {}
+    for item in require_cases or []:
+        suite, _, case = item.partition(":")
+        if not suite or not case:
+            raise SystemExit(
+                f"error: --require-case wants SUITE:NAME, got {item!r}")
+        required.setdefault(suite, []).append(case)
+    return required
+
+
 def check_dirs(
     baseline_dir: str,
     fresh_dir: str,
     suites: List[str],
     threshold: float,
     ignore_params: bool = False,
+    require_cases: Optional[List[str]] = None,
     out=sys.stdout,
 ) -> int:
     """Compare every suite's file pair; returns the process exit code."""
     regressions = 0
     compared = 0
+    required = _parse_required(require_cases)
     for suite in suites:
         filename = f"BENCH_{suite}.json"
         baseline = _load(os.path.join(baseline_dir, filename))
         fresh = _load(os.path.join(fresh_dir, filename))
+        # Required cases gate on the *fresh* file alone: the point is to
+        # fail when a case silently stops being produced, which a missing
+        # baseline must not excuse.
+        for case in required.pop(suite, []):
+            if fresh is None:
+                print(f"error: fresh {filename} missing in {fresh_dir}"
+                      f" (required case {case})", file=sys.stderr)
+                return 2
+            names = {r.get("name") for r in fresh.get("results", [])}
+            if case not in names:
+                print(f"error: required case {suite}:{case} missing from"
+                      f" fresh {filename}", file=sys.stderr)
+                return 2
+            print(f"[{suite}] required case present: {case}", file=out)
         if baseline is None:
             print(f"[{suite}] no committed baseline {filename}; skipping",
                   file=out)
@@ -148,6 +189,12 @@ def check_dirs(
                   f" {base:.1f} -> {new:.1f} ({change:+.1%})", file=out)
             if status == "REGRESSION":
                 regressions += 1
+    if required:
+        leftovers = ", ".join(f"{s}:{c}" for s, cs in sorted(required.items())
+                              for c in cs)
+        print(f"error: --require-case names suite(s) not compared:"
+              f" {leftovers}", file=sys.stderr)
+        return 2
     if regressions:
         print(f"{regressions} metric(s) regressed beyond"
               f" {threshold:.0%}", file=sys.stderr)
@@ -172,9 +219,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="compare even when suite params differ"
                              " (quick vs full runs are NOT comparable;"
                              " use only when you know the workloads match)")
+    parser.add_argument("--require-case", action="append", default=[],
+                        metavar="SUITE:NAME",
+                        help="fail (exit 2) unless the fresh SUITE file"
+                             " contains a result case NAME; repeatable")
     args = parser.parse_args(argv)
     return check_dirs(args.baseline_dir, args.fresh_dir, args.suites,
-                      args.threshold, args.ignore_params)
+                      args.threshold, args.ignore_params,
+                      require_cases=args.require_case)
 
 
 if __name__ == "__main__":
