@@ -44,17 +44,17 @@ class OffChannelNode(LONode):
         self.intercept_fee_min: Optional[int] = None
         self.stolen: Dict[int, object] = {}  # sketch_id -> Transaction
 
-    def receive_client_transaction(self, tx) -> bool:
+    def receive_client_transaction(self, tx, peer=None) -> bool:
         if (
             self.intercept_fee_min is not None
             and tx.fee >= self.intercept_fee_min
             and tx.sketch_id not in self.log
         ):
             self.stolen[tx.sketch_id] = tx
-            for peer in self.peers_off_channel:
-                self._send(peer, "atk/offchannel", tx, tx.wire_size())
+            for colluder in self.peers_off_channel:
+                self._send(colluder, "atk/offchannel", tx, tx.wire_size())
             return True  # fake acknowledgement: the client believes it's in
-        return super().receive_client_transaction(tx)
+        return super().receive_client_transaction(tx, peer=peer)
 
     # Forward every new transaction content to colluders, off the record.
     def _ingest_content(self, tx) -> None:

@@ -1,0 +1,179 @@
+"""The ``mempool`` bench suite: admission-pipeline throughput.
+
+Tracks the cost of the production admission path
+(:class:`repro.mempool.admission.Mempool`) under the workloads it was
+built for:
+
+* ``admit/hotkey`` -- raw admission throughput over a hot-key-skewed
+  transaction stream (pre-signed outside the timed region), the
+  pipeline's front-door cost: prevalidation, rate limiting, fee floor,
+  nonce bookkeeping, priority-index insert;
+* ``admit_drain/hotkey`` -- the same stream interleaved with periodic
+  drain ticks, measuring the full admit -> price-and-nonce drain cycle
+  a node performs between commitments;
+* ``evict/pressure`` -- admission into a deliberately tiny pool with
+  ever-rising fees, so nearly every admit triggers a pool-full eviction
+  episode (the watermark hysteresis + rollback machinery under
+  sustained pressure).
+
+Emits ``BENCH_mempool.json`` in the ``repro.bench/1`` schema; the
+headline derived metric is ``admissions_per_second``, trend-gated by
+``tools/check_bench_trend.py``.  Case names carry no sizes (sizes live
+in ``params``) so the CI quick run and the committed full run share
+case identities.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Tuple
+
+from repro.bench.runner import BenchResult, bench_case
+from repro.crypto.keys import KeyPair
+from repro.mempool.admission import AdmissionConfig, Mempool
+from repro.mempool.transaction import Transaction, make_transaction
+from repro.mempool.watermark import WatermarkConfig
+from repro.workload.hotkey import HotKeySampler
+
+SuiteOutput = Tuple[List[BenchResult], Dict[str, float], Dict[str, Any]]
+
+
+def _hotkey_stream(
+    count: int, seed: int, num_accounts: int, rate_per_s: float
+) -> List[Transaction]:
+    """Pre-signed hot-key-skewed transactions with per-account nonces."""
+    rnd = random.Random(seed)
+    sampler = HotKeySampler(
+        rnd, num_accounts=num_accounts, num_hot=8, hot_fraction=0.6
+    )
+    keys: Dict[int, KeyPair] = {}
+    nonces: Dict[int, int] = {}
+    txs: List[Transaction] = []
+    for i in range(count):
+        account = sampler()
+        keypair = keys.get(account)
+        if keypair is None:
+            keypair = keys[account] = KeyPair.generate(
+                seed=f"bench-acct-{account}".encode()
+            )
+        nonce = nonces.get(account, 1)
+        nonces[account] = nonce + 1
+        fee = max(1, int(rnd.lognormvariate(3.0, 1.1)))
+        txs.append(make_transaction(
+            keypair, nonce, fee, created_at=i / rate_per_s
+        ))
+    return txs
+
+
+def _pressure_stream(count: int, seed: int) -> List[Transaction]:
+    """Distinct-sender transactions with steadily climbing fees.
+
+    Each transaction outbids the pool's tail, so under a tiny byte
+    ceiling nearly every admission runs an eviction episode.
+    """
+    rnd = random.Random(seed)
+    txs: List[Transaction] = []
+    for i in range(count):
+        keypair = KeyPair.generate(seed=f"bench-pressure-{i}".encode())
+        fee = 100 + i + rnd.randrange(50)
+        txs.append(make_transaction(keypair, 1, fee, created_at=float(i)))
+    return txs
+
+
+def mempool_suite(quick: bool = False, seed: int = 42) -> SuiteOutput:
+    """Admission-pipeline throughput benchmarks.
+
+    Returns ``(results, derived, params)`` like the other suites.  The
+    headline derived number is ``admissions_per_second`` (hot-key
+    stream through a fresh pool).
+    """
+    count = 2_000 if quick else 10_000
+    pressure_count = 500 if quick else 2_000
+    rate_per_s = 200.0
+    repeats = 2 if quick else 3
+    results: List[BenchResult] = []
+    derived: Dict[str, float] = {}
+
+    # Hot accounts queue far more than the default 16-nonce lookahead
+    # between drains; widen the gap so the cases time the pipeline, not
+    # the gap cutoff.
+    admit_config = AdmissionConfig(max_nonce_gap=1_000_000)
+    txs = _hotkey_stream(count, seed, num_accounts=1_000,
+                         rate_per_s=rate_per_s)
+
+    def admit_all():
+        pool = Mempool(admit_config)
+        for i, tx in enumerate(txs):
+            pool.admit(tx, now=i / rate_per_s, peer=tx.sender.raw)
+        return pool
+
+    # Verification pass: the stream must mostly clear admission, or the
+    # benchmark would be timing the rejection fast-exit instead.
+    probe = admit_all()
+    accepted = probe.counters["accepted"] + probe.counters["replaced"]
+    assert accepted > count // 2, "hot-key stream mostly rejected"
+
+    case = bench_case(
+        "admit/hotkey", admit_all,
+        params={"txs": count, "accounts": 1_000, "rate_per_s": rate_per_s,
+                "seed": seed},
+        iterations=1, repeats=repeats, ops_per_call=count,
+    )
+    results.append(case)
+    derived["admissions_per_second"] = case.ops_per_second
+    derived["admit_accept_fraction"] = accepted / count
+
+    # --- admit + drain cycle -------------------------------------------
+    drain_every = 100  # submissions per simulated drain tick
+
+    def admit_and_drain():
+        pool = Mempool(admit_config)
+        drained = 0
+        for i, tx in enumerate(txs):
+            now = i / rate_per_s
+            pool.admit(tx, now=now, peer=tx.sender.raw)
+            if i % drain_every == drain_every - 1:
+                drained += len(pool.drain(now))
+        drained += len(pool.drain(count / rate_per_s))
+        return drained
+
+    drained_total = admit_and_drain()
+    drain_case = bench_case(
+        "admit_drain/hotkey", admit_and_drain,
+        params={"txs": count, "drain_every": drain_every,
+                "rate_per_s": rate_per_s, "seed": seed},
+        iterations=1, repeats=repeats, ops_per_call=count,
+    )
+    results.append(drain_case)
+    derived["admit_drain_per_second"] = drain_case.ops_per_second
+    derived["drain_fraction"] = drained_total / count
+
+    # --- eviction under pressure ---------------------------------------
+    tight = AdmissionConfig(
+        watermarks=WatermarkConfig(max_pool_bytes=50_000, low_fraction=0.9,
+                                   max_age_s=1e9, max_pool_txs=50_000),
+    )
+    pressure = _pressure_stream(pressure_count, seed)
+
+    def evict_pressure():
+        pool = Mempool(tight)
+        for i, tx in enumerate(pressure):
+            pool.admit(tx, now=float(i), peer=None)
+        return pool
+
+    evict_probe = evict_pressure()
+    evictions = evict_probe.counters["evicted_pool_full"]
+    assert evictions > pressure_count // 4, "pressure stream barely evicted"
+
+    evict_case = bench_case(
+        "evict/pressure", evict_pressure,
+        params={"txs": pressure_count, "pool_bytes": 50_000, "seed": seed},
+        iterations=1, repeats=repeats, ops_per_call=pressure_count,
+    )
+    results.append(evict_case)
+    derived["evict_admissions_per_second"] = evict_case.ops_per_second
+    derived["evictions_per_admission"] = evictions / pressure_count
+
+    params = {"quick": quick, "seed": seed, "txs": count,
+              "pressure_txs": pressure_count, "rate_per_s": rate_per_s}
+    return results, derived, params

@@ -74,17 +74,34 @@ def cmd_run(args) -> int:
     from repro.core.config import LOConfig
     from repro.experiments.harness import LOSimulation, SimulationParams
 
+    config = LOConfig()
+    if args.admission:
+        from repro.mempool.admission import AdmissionConfig
+
+        config = LOConfig(admission=AdmissionConfig())
     sim = LOSimulation(
         SimulationParams(
             num_nodes=args.nodes,
             seed=args.seed,
-            config=LOConfig(),
+            config=config,
             enable_blocks=args.blocks,
         )
     )
-    count = sim.inject_workload(rate_per_s=args.rate, duration_s=args.duration)
+    if args.workload == "node":
+        count = sim.inject_workload(rate_per_s=args.rate,
+                                    duration_s=args.duration)
+    else:
+        count = sim.inject_open_loop(
+            rate_per_s=args.rate,
+            duration_s=args.duration,
+            arrivals="bursty" if args.workload == "bursty" else "poisson",
+            hot_fraction=args.hot_fraction,
+            scale=args.scale,
+            rbf_fraction=args.rbf_fraction,
+        )
     sim.run(args.duration + args.drain)
     latencies = sim.mempool_tracker.all_latencies()
+    admission = sim.admission_breakdown()
     rows = [
         ("nodes", args.nodes),
         ("transactions", count),
@@ -94,6 +111,14 @@ def cmd_run(args) -> int:
         ("overhead (MB)", f"{sim.total_overhead_bytes() / 1e6:.2f}"),
         ("exposures", sum(len(n.acct.exposed) for n in sim.nodes.values())),
     ]
+    if admission:
+        from repro.mempool.admission import REJECT_REASONS
+
+        rejected = sum(admission.get(r, 0) for r in REJECT_REASONS)
+        rows.append(("admitted", admission.get("accepted", 0)
+                     + admission.get("replaced", 0)))
+        rows.append(("admission rejects", rejected))
+        rows.append(("drained", admission.get("drained", 0)))
     print(format_table(("metric", "value"), rows))
     result = {
         "nodes": args.nodes,
@@ -103,6 +128,7 @@ def cmd_run(args) -> int:
         "overhead_bytes": sim.total_overhead_bytes(),
         "exposures": sum(len(n.acct.exposed) for n in sim.nodes.values()),
         "drop_breakdown": sim.drop_breakdown(),
+        "admission_breakdown": admission,
         "wire_violation_totals": sim.wire_violation_totals(),
         "metrics": sim.metrics_snapshot(),
     }
@@ -501,6 +527,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=20.0)
     p.add_argument("--drain", type=float, default=10.0)
     p.add_argument("--blocks", action="store_true")
+    p.add_argument("--admission", action="store_true",
+                   help="enable the production admission pipeline (fee"
+                        " floor, RBF, nonce FIFOs, eviction, rate limits)"
+                        " at every node's client ingress")
+    p.add_argument("--workload", choices=["node", "poisson", "bursty"],
+                   default="node",
+                   help="'node': legacy node-minted injection;"
+                        " 'poisson'/'bursty': open-loop client workload"
+                        " with per-account keys and nonces (bursty ="
+                        " two-state MMPP arrivals)")
+    p.add_argument("--hot-fraction", type=float, default=0.0,
+                   help="fraction of open-loop traffic funnelled through"
+                        " a handful of hot sender accounts (0 = pure Zipf)")
+    p.add_argument("--scale", type=int, default=1,
+                   help="superpose this many replicas of the open-loop"
+                        " trace (disjoint account ranges) for heavy traffic")
+    p.add_argument("--rbf-fraction", type=float, default=0.0,
+                   help="probability an open-loop client re-submits its"
+                        " previous nonce (exercises replace-by-fee)")
     _add_common(p, sweeps=False)
     p.set_defaults(func=cmd_run)
 
@@ -633,7 +678,8 @@ def build_parser() -> argparse.ArgumentParser:
              "(schema repro.bench/1)",
     )
     p.add_argument("--suite",
-                   choices=["sketch", "reconcile", "harness", "all"],
+                   choices=["sketch", "reconcile", "harness", "mempool",
+                            "all"],
                    default="all")
     p.add_argument("--quick", action="store_true",
                    help="reduced sizes for CI smoke runs")

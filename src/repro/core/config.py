@@ -9,6 +9,9 @@ with 3 random neighbours every second, 1 s request timeout resent 3 times,
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+from repro.mempool.admission import AdmissionConfig
 
 
 @dataclass
@@ -41,6 +44,16 @@ class LOConfig:
     mean_block_time_s: float = 12.0     # network-wide average block interval
     max_block_txs: int = 256            # blockspace cap
     min_fee: int = 1                    # fee threshold for block inclusion
+
+    # --- admission pipeline (client-edge ingress) ---
+    # When set, client-submitted transactions pass through the production
+    # admission pipeline (repro.mempool.admission.Mempool): per-peer rate
+    # limiting, the dynamic fee floor with replace-by-fee, per-sender
+    # nonce FIFOs and watermark eviction.  Admitted transactions wait in
+    # the pending pool and are drained into log commitments on each sync
+    # tick.  None (the default) keeps the original commit-on-receipt
+    # behaviour, byte-identical with earlier versions.
+    admission: Optional[AdmissionConfig] = None
 
     # --- ingress hardening (Byzantine message tolerance) ---
     # When True every inbound lo/* payload is schema-checked before its

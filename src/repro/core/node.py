@@ -61,6 +61,7 @@ from repro.core.reconciliation import (
 )
 from repro.core.wire import PeerQuarantine, validate_payload
 from repro.crypto.keys import KeyPair, PublicKey
+from repro.mempool.admission import Mempool
 from repro.mempool.transaction import Transaction, make_transaction, prevalidate
 from repro.mempool.txlog import TransactionLog
 from repro.metrics import EventCounter, LatencyTracker
@@ -167,6 +168,10 @@ class LONode(Endpoint):
             max_s=config.quarantine_max_s,
         )
         self.restarts = 0
+        # Client-edge admission pipeline (None keeps commit-on-receipt).
+        self.mempool: Optional[Mempool] = (
+            Mempool(config.admission) if config.admission is not None else None
+        )
 
         self.mempool_tracker = mempool_tracker
         self.block_tracker = block_tracker
@@ -269,12 +274,30 @@ class LONode(Endpoint):
         self.receive_client_transaction(tx)
         return tx
 
-    def receive_client_transaction(self, tx: Transaction) -> bool:
-        """Prevalidate and commit a client-submitted transaction.
+    def receive_client_transaction(self, tx: Transaction,
+                                   peer=None) -> bool:
+        """Accept a client-submitted transaction at the ingress edge.
 
-        Returns False when prevalidation rejects it (it is then neither
-        stored nor committed, exactly the stage-I behaviour).
+        Without an admission config this prevalidates and commits on
+        receipt (the original stage-I behaviour).  With admission
+        enabled the transaction instead runs the full pipeline --
+        rate limit, fee floor, nonce FIFO, watermarks -- and, if
+        admitted, waits in the pending pool until a sync tick drains
+        it into a commitment bundle.  ``peer`` is the opaque ingress
+        identity the rate limiter meters (``None`` skips metering,
+        e.g. for the node's own transactions).
+
+        Returns False when the transaction was rejected (it is then
+        neither stored nor committed).
         """
+        if self.mempool is not None:
+            result = self.mempool.admit(tx, self.now, peer=peer)
+            if not result.accepted:
+                if self.counter is not None:
+                    self.counter.increment("admission_rejects",
+                                           node=self.node_id)
+                return False
+            return True
         if not prevalidate(tx):
             return False
         if tx.sketch_id in self.log:
@@ -287,6 +310,28 @@ class LONode(Endpoint):
         if self.block_tracker is not None:
             self.block_tracker.record_created(tx.sketch_id, self.now)
         return True
+
+    def _drain_mempool(self) -> None:
+        """Commit one drain batch from the admission pool (sync tick)."""
+        assert self.mempool is not None
+        batch = self.mempool.drain(self.now)
+        if not batch:
+            return
+        self._commit_bundle([tx.sketch_id for tx in batch], source_peer=None)
+        for tx in batch:
+            if tx.sketch_id in self.log:
+                self.log.add_content(tx, valid=True)
+                # Trackers register at drain time, not admit time: a
+                # transaction enters the protocol when it is committed,
+                # so RBF-replaced or evicted entries never count as
+                # "created" for convergence/latency purposes.
+                if self.mempool_tracker is not None:
+                    self.mempool_tracker.record_created(tx.sketch_id, self.now)
+                    self.mempool_tracker.record_seen(
+                        tx.sketch_id, self.node_id, self.now
+                    )
+                if self.block_tracker is not None:
+                    self.block_tracker.record_created(tx.sketch_id, self.now)
 
     def _commit_bundle(
         self, ids: Sequence[int], source_peer: Optional[int]
@@ -318,6 +363,10 @@ class LONode(Endpoint):
         self._sync_event = self.loop.call_later(
             self.config.sync_interval_s, self._sync_tick
         )
+        if self.mempool is not None:
+            # Drain admitted transactions into a commitment bundle before
+            # reconciling, so this round's sketches already cover them.
+            self._drain_mempool()
         peers = self._eligible_neighbors()
         if not peers:
             return
@@ -593,7 +642,7 @@ class LONode(Endpoint):
         from repro.core.client import SubmitAck
 
         tx: Transaction = message.payload
-        accepted = self.receive_client_transaction(tx)
+        accepted = self.receive_client_transaction(tx, peer=message.sender)
         if not accepted and tx.sketch_id in self.log:
             accepted = True  # duplicate submission of a known tx is fine
         unsigned = SubmitAck(

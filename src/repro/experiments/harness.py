@@ -26,9 +26,11 @@ from repro.net.chaos import ChaosController, ChaosPlan
 from repro.net.latency import CityLatencyModel, LatencyModel
 from repro.net.network import Network
 from repro.net.topology import TopologyBuilder
+from repro.crypto.keys import KeyPair
+from repro.mempool.transaction import make_transaction
 from repro.sim.loop import EventLoop
 from repro.sim.rng import SeededRng
-from repro.workload import EthereumTraceGenerator
+from repro.workload import EthereumTraceGenerator, HotKeySampler, MMPPTraceGenerator
 
 NodeFactory = Callable[..., LONode]
 
@@ -186,6 +188,13 @@ class LOSimulation:
         # highest created block -- so tracking creations tracks the max.
         self._canonical_height = -1
 
+        # Open-loop client state: per-account signing keys and nonce
+        # counters shared across injection calls (created lazily, seeded
+        # by account index, hence deterministic).
+        self._account_keys: Dict[int, KeyPair] = {}
+        self._account_nonces: Dict[int, int] = {}
+        self._client_rng = self.rng.stream("client-behaviour")
+
         self._runs = 0
         self._wire_tracing()
 
@@ -203,6 +212,7 @@ class LOSimulation:
         registry.register_collector("net", self.network.collect_metrics)
         registry.register_collector("events", self.counter.totals)
         registry.register_collector("caches", _collect_cache_stats)
+        registry.register_collector("mempool", self._mempool_metrics)
         if self.chaos is not None:
             registry.register_collector(
                 "chaos", self.chaos.injector.counters.as_dict
@@ -316,6 +326,142 @@ class LOSimulation:
 
     def _inject_one(self, origin: int, fee: int, size_bytes: int) -> None:
         self.nodes[origin].create_transaction(fee=fee, size_bytes=size_bytes)
+
+    def inject_open_loop(
+        self,
+        rate_per_s: float,
+        duration_s: float,
+        start_at: float = 0.0,
+        arrivals: str = "poisson",
+        hot_fraction: float = 0.0,
+        num_hot: int = 8,
+        num_accounts: int = 1000,
+        scale: int = 1,
+        burst_multiplier: float = 8.0,
+        mean_calm_s: float = 8.0,
+        mean_burst_s: float = 2.0,
+        rbf_fraction: float = 0.0,
+    ) -> int:
+        """Schedule an open-loop *client* workload; returns the tx count.
+
+        Unlike :meth:`inject_workload` (which mints transactions from the
+        receiving node's own key), this path models external clients: each
+        trace ``sender_account`` maps to a persistent account keypair with
+        its own nonce sequence, submits to a sticky home node (``account
+        mod num_nodes`` -- a client talks to *its* miner, which keeps the
+        per-node nonce FIFO contiguous), and is metered by that node's
+        per-peer rate limiter under its account identity.  Accounts only
+        advance their nonce when a submission is accepted, like a
+        well-behaved wallet; with probability ``rbf_fraction`` a client
+        re-submits its previous nonce instead, exercising the
+        replace-by-fee path.
+
+        ``arrivals`` selects the arrival process: ``"poisson"`` (the
+        baseline) or ``"bursty"`` (the two-state MMPP of
+        :class:`repro.workload.bursty.MMPPTraceGenerator` with the given
+        burst shape).  ``hot_fraction > 0`` routes that share of traffic
+        through ``num_hot`` hot accounts
+        (:class:`repro.workload.hotkey.HotKeySampler`); ``scale > 1``
+        superposes that many replicas of the whole trace with disjoint
+        account ranges (:meth:`EthereumTraceGenerator.replay_scaled`).
+        """
+        rng = self.rng.stream("openloop")
+        sampler = None
+        if hot_fraction > 0.0:
+            sampler = HotKeySampler(
+                rng, num_accounts=num_accounts, num_hot=num_hot,
+                hot_fraction=hot_fraction,
+            )
+        common = dict(
+            num_nodes=self.params.num_nodes,
+            rate_per_s=rate_per_s,
+            rng=rng,
+            mean_size_bytes=self.params.tx_size_bytes,
+            num_accounts=num_accounts,
+            account_sampler=sampler,
+        )
+        if arrivals == "bursty":
+            generator: EthereumTraceGenerator = MMPPTraceGenerator(
+                burst_multiplier=burst_multiplier,
+                mean_calm_s=mean_calm_s,
+                mean_burst_s=mean_burst_s,
+                **common,
+            )
+        elif arrivals == "poisson":
+            generator = EthereumTraceGenerator(**common)
+        else:
+            raise ValueError(f"unknown arrival process: {arrivals!r}")
+        if scale > 1:
+            trace = generator.replay_scaled(duration_s, scale)
+        else:
+            trace = generator.stream(duration_s)
+        count = 0
+        schedule_at = self.loop.schedule_at
+        for trace_tx in trace:
+            schedule_at(
+                start_at + trace_tx.at_time,
+                self._inject_client,
+                trace_tx.sender_account,
+                trace_tx.fee,
+                trace_tx.size_bytes,
+                rbf_fraction,
+            )
+            count += 1
+        _t = obs.TRACER
+        if _t.enabled:
+            _t.event("sim.workload_open_loop", t=self.loop.now,
+                     rate_per_s=rate_per_s, duration_s=duration_s,
+                     start_at=start_at, arrivals=arrivals,
+                     hot_fraction=hot_fraction, scale=scale, txs=count)
+        return count
+
+    def _inject_client(self, account: int, fee: int, size_bytes: int,
+                       rbf_fraction: float) -> None:
+        keypair = self._account_keys.get(account)
+        if keypair is None:
+            keypair = KeyPair.generate(seed=f"acct-{account}".encode())
+            self._account_keys[account] = keypair
+        next_nonce = self._account_nonces.get(account, 1)
+        nonce = next_nonce
+        is_rbf = False
+        if next_nonce > 1 and self._client_rng.random() < rbf_fraction:
+            nonce, is_rbf = next_nonce - 1, True  # fee-bump the last one
+        tx = make_transaction(
+            keypair, nonce, fee, self.loop.now, size_bytes=size_bytes
+        )
+        origin = account % self.params.num_nodes
+        accepted = self.nodes[origin].receive_client_transaction(
+            tx, peer=account
+        )
+        if accepted and not is_rbf:
+            self._account_nonces[account] = next_nonce + 1
+
+    def admission_breakdown(self) -> Dict[str, int]:
+        """Admission-pipeline counters summed across all nodes.
+
+        Empty when no node runs the admission pipeline.  Key order is the
+        pipeline's own counter order, so same-seed runs serialise
+        identically.
+        """
+        totals: Dict[str, int] = {}
+        for node_id in sorted(self.nodes):
+            mempool = self.nodes[node_id].mempool
+            if mempool is None:
+                continue
+            for key, value in mempool.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def _mempool_metrics(self) -> Dict[str, float]:
+        """Registry collector: admission counters plus pool occupancy."""
+        totals: Dict[str, float] = dict(self.admission_breakdown())
+        if not totals:
+            return {}
+        pools = [n.mempool for n in self.nodes.values()
+                 if n.mempool is not None]
+        totals["pool_txs"] = float(sum(len(p) for p in pools))
+        totals["pool_bytes"] = float(sum(p.pool_bytes for p in pools))
+        return totals
 
     def inject_at(self, when: float, origin: int, fee: int = 10,
                   size_bytes: int = 250) -> None:

@@ -1,4 +1,4 @@
-"""Transactions and the secure append-only mempool data structure.
+"""Transactions, the append-only log, and the admission pipeline.
 
 LO "forces miners to log all the transactions they receive into a secure
 mempool data structure and to process them in a verifiable manner"
@@ -6,8 +6,25 @@ mempool data structure and to process them in a verifiable manner"
 insertion-ordered record of every valid transaction a miner has ever
 encountered, alongside derived indexes (32-bit sketch ids, Bloom-Clock
 cells, per-cell incremental sketches) that make commitments cheap.
+
+In front of the log sits a production-grade *admission pipeline*
+(:class:`Mempool`): per-peer rate limiting, a dynamic fee floor with
+replace-by-fee rules, per-sender nonce FIFOs, and watermark-driven
+eviction.  Only transactions that survive admission and are *drained*
+(price-and-nonce order) ever reach the append-only log, so eviction
+never has to un-commit anything.  See ``docs/mempool.md`` for the
+design tour and :mod:`repro.mempool.admission` for the stage order.
 """
 
+from repro.mempool.admission import (
+    AdmissionConfig,
+    AdmissionResult,
+    Mempool,
+    REJECT_REASONS,
+)
+from repro.mempool.fee_market import FeeMarket, FeeMarketConfig
+from repro.mempool.limiter import LimiterConfig, TokenBucketLimiter
+from repro.mempool.priority import PriorityIndex, effective_priority
 from repro.mempool.transaction import (
     Transaction,
     TransactionError,
@@ -15,11 +32,23 @@ from repro.mempool.transaction import (
     prevalidate,
 )
 from repro.mempool.txlog import TransactionLog
+from repro.mempool.watermark import WatermarkConfig
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionResult",
+    "FeeMarket",
+    "FeeMarketConfig",
+    "LimiterConfig",
+    "Mempool",
+    "PriorityIndex",
+    "REJECT_REASONS",
+    "TokenBucketLimiter",
     "Transaction",
     "TransactionError",
     "TransactionLog",
+    "WatermarkConfig",
+    "effective_priority",
     "make_transaction",
     "prevalidate",
 ]

@@ -1,0 +1,65 @@
+"""Drain ordering: which pooled transactions commit first.
+
+Admission decides *whether* a transaction may wait in the pool; the
+drain queue decides *in what order* waiting transactions leave it.  The
+node drains the pool once per sync tick (see
+:meth:`repro.core.node.LONode`), committing up to ``drain_batch_size``
+entries into the append-only transaction log per tick.
+
+Ordering is the mirror image of eviction: the drain pops the
+*highest* effective priority first, with ties broken by *ascending*
+arrival sequence (first come, first committed -- the accountable-order
+property LO's log is meant to witness).  Only entries the per-sender
+nonce FIFO has marked *ready* (contiguous with the sender's next
+expected nonce) are eligible; queued future nonces wait until the gap
+in front of them closes.
+
+Like :class:`repro.mempool.priority.PriorityIndex`, removal is lazy: a
+ready entry that is later evicted or replaced stays in the heap as a
+corpse until it surfaces, at which point the liveness check supplied by
+the pool discards it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+
+class DrainQueue:
+    """Max-priority heap over *ready* (nonce-contiguous) entries."""
+
+    def __init__(self, is_live: Callable[[int], bool]):
+        #: heap of ``(-priority, seq, item_id)`` -- max priority first,
+        #: then oldest arrival first.
+        self._heap: List[Tuple[float, int, int]] = []
+        self._is_live = is_live
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push_ready(self, item_id: int, priority: float, seq: int) -> None:
+        """Mark an entry drain-eligible (its nonce gap has closed)."""
+        heapq.heappush(self._heap, (-priority, seq, item_id))
+
+    def pop_best(self) -> Optional[int]:
+        """Id of the best live ready entry, or None when drained dry.
+
+        Corpses -- entries evicted, expired or replaced after they
+        became ready -- are shed here via the pool's liveness predicate.
+        """
+        while self._heap:
+            _neg_priority, _seq, item_id = heapq.heappop(self._heap)
+            if self._is_live(item_id):
+                return item_id
+        return None
+
+    def drain(self, limit: int) -> List[int]:
+        """Pop up to ``limit`` live entry ids in drain order."""
+        batch: List[int] = []
+        while len(batch) < limit:
+            item_id = self.pop_best()
+            if item_id is None:
+                break
+            batch.append(item_id)
+        return batch

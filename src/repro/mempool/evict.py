@@ -1,0 +1,95 @@
+"""Eviction: keeping the pending pool inside its watermarks.
+
+Two mechanisms, both driven by :class:`repro.mempool.watermark.WatermarkConfig`:
+
+* **pool-full eviction** (:meth:`Evictor.make_room_for`) runs at
+  admission time when an incoming transaction does not fit under the
+  byte/count ceilings.  It pops the *lowest* effective-priority entries
+  until the incoming transaction fits -- and keeps going down to the
+  *low* watermark so consecutive admissions do not each pay for their
+  own eviction episode (hysteresis).  The plan only ever removes
+  entries whose priority is *strictly below* the incoming
+  transaction's; when that cannot free enough room the plan is rolled
+  back untouched and the incoming transaction is the one rejected.
+  This is the pipeline's headline invariant: a higher-effective-priority
+  transaction is never evicted while a lower-priority one remains.
+* **age expiry** (:meth:`Evictor.expire_aged`) runs on each drain tick
+  and removes entries older than ``max_age_s`` regardless of priority.
+  Admission order is tracked in a FIFO of ``(admitted_at, id)`` pairs,
+  so expiry is O(expired) per tick; ids that left the pool earlier
+  (drained, replaced, evicted) surface as corpses and are skipped.
+
+The evictor mutates only the :class:`~repro.mempool.priority.PriorityIndex`;
+the pool (:mod:`repro.mempool.admission`) owns the remaining bookkeeping
+and applies the returned eviction lists to its own maps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.mempool.priority import PriorityIndex
+from repro.mempool.watermark import WatermarkConfig
+
+
+class Evictor:
+    """Applies watermark policy to a :class:`PriorityIndex`."""
+
+    def __init__(self, index: PriorityIndex, config: WatermarkConfig):
+        self._index = index
+        self.config = config
+        #: admission FIFO: ``(admitted_at, item_id)`` in arrival order.
+        self._ages: Deque[Tuple[float, int]] = deque()
+
+    def note_admitted(self, item_id: int, now: float) -> None:
+        """Record an admission so age expiry can find it later."""
+        self._ages.append((now, item_id))
+
+    def expire_aged(self, now: float) -> List[int]:
+        """Remove and return every entry older than ``max_age_s``."""
+        expired: List[int] = []
+        max_age = self.config.max_age_s
+        while self._ages and now - self._ages[0][0] > max_age:
+            _admitted_at, item_id = self._ages.popleft()
+            if self._index.remove(item_id):
+                expired.append(item_id)
+            # else: already drained/replaced/evicted -- a corpse.
+        return expired
+
+    def _at_low_target(self, incoming_bytes: int) -> bool:
+        cfg = self.config
+        low_txs = max(1, int(cfg.max_pool_txs * cfg.low_fraction))
+        return (self._index.total_bytes + incoming_bytes
+                <= cfg.low_watermark_bytes
+                and len(self._index) + 1 <= low_txs)
+
+    def make_room_for(self, priority: float,
+                      size_bytes: int) -> Optional[List[Tuple[int, float]]]:
+        """Eviction plan admitting a ``priority``/``size_bytes`` entry.
+
+        Returns ``[]`` when the entry already fits, a list of evicted
+        ``(id, priority)`` pairs (already removed from the index) when
+        an eviction episode made room, or ``None`` -- with the index
+        rolled back to its pre-call state -- when room cannot be made
+        without evicting an entry of equal or higher priority.  In the
+        ``None`` case the *incoming* transaction is the one that loses.
+        """
+        index, cfg = self._index, self.config
+        if cfg.fits(index.total_bytes, len(index), size_bytes):
+            return []
+        removed: List[Tuple[int, float, int, int]] = []
+        while not self._at_low_target(size_bytes):
+            lowest = index.peek_lowest()
+            if lowest is None or lowest[1] >= priority:
+                break  # nothing cheaper than the incoming entry remains
+            item_id, low_priority = lowest
+            _p, seq, entry_bytes = index.info(item_id)
+            index.remove(item_id)
+            removed.append((item_id, low_priority, seq, entry_bytes))
+        if not cfg.fits(index.total_bytes, len(index), size_bytes):
+            # Could not free enough below the incoming priority: undo.
+            for item_id, low_priority, seq, entry_bytes in removed:
+                index.add(item_id, low_priority, seq, entry_bytes)
+            return None
+        return [(item_id, p) for item_id, p, _seq, _bytes in removed]

@@ -1,0 +1,133 @@
+"""The fee market: a dynamic admission floor plus replace-by-fee rules.
+
+Real mempools defend themselves with prices, not queues.  Two mechanisms
+live here:
+
+* a **dynamic minimum fee rate** (the *floor*).  Admission requires
+  ``effective_priority(tx) >= floor(now)``.  The floor sits at a
+  configured relay minimum while the pool is comfortable; every
+  pool-full eviction pushes it just above the priority of the entry
+  that was evicted (plus a configured bump), and it then *decays
+  exponentially* back towards the relay minimum with a configured
+  half-life.  Sustained congestion therefore prices out the long tail
+  instead of burning CPU admitting and re-evicting it -- the same shape
+  as Bitcoin Core's ``mempoolminfee`` or an EIP-1559 base fee;
+* **replace-by-fee (RBF)** rules.  A transaction replacing a pooled
+  entry with the same ``(sender, nonce)`` must raise both the absolute
+  fee and the fee rate by at least ``rbf_bump_fraction``.  Requiring
+  both makes fee bumping *monotone* (a chain of accepted replacements
+  has strictly increasing fees -- the property tests pin this down)
+  and stops replacement spam that re-announces near-identical
+  transactions for free.
+
+Everything is a pure function of (config, simulation clock), so
+same-seed runs produce byte-identical admission decisions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.mempool.transaction import Transaction
+from repro.mempool.priority import effective_priority
+
+
+@dataclass(frozen=True)
+class FeeMarketConfig:
+    """Knobs of the dynamic floor and the RBF bump rule."""
+
+    #: Relay minimum fee rate (fee units per byte); the floor never
+    #: decays below this.
+    min_fee_rate: float = 0.004
+    #: After a pool-full eviction the floor becomes
+    #: ``evicted_priority * (1 + floor_bump_fraction)``.
+    floor_bump_fraction: float = 0.10
+    #: Exponential-decay half-life of an elevated floor, in (simulated)
+    #: seconds.
+    floor_halflife_s: float = 30.0
+    #: Minimum fractional increase -- of both fee and fee rate -- that a
+    #: replacement must pay over the entry it replaces.
+    rbf_bump_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        """Validate ranges (all fractions non-negative, halflife > 0)."""
+        if self.min_fee_rate < 0:
+            raise ValueError("min_fee_rate must be >= 0")
+        if self.floor_halflife_s <= 0:
+            raise ValueError("floor_halflife_s must be > 0")
+        if self.floor_bump_fraction < 0 or self.rbf_bump_fraction < 0:
+            raise ValueError("bump fractions must be >= 0")
+
+
+class FeeMarket:
+    """Tracks the dynamic admission floor and judges replacements."""
+
+    def __init__(self, config: FeeMarketConfig):
+        self.config = config
+        self._elevated = 0.0     # floor component above the relay minimum
+        self._elevated_at = 0.0  # sim time the elevation was last set
+
+    def floor(self, now: float) -> float:
+        """The admission floor (fee units per byte) at simulation time ``now``."""
+        if self._elevated <= 0.0:
+            return self.config.min_fee_rate
+        age = max(0.0, now - self._elevated_at)
+        decayed = self._elevated * math.pow(
+            2.0, -age / self.config.floor_halflife_s
+        )
+        if decayed <= self.config.min_fee_rate:
+            self._elevated = 0.0  # fully decayed; forget the episode
+            return self.config.min_fee_rate
+        return decayed
+
+    def meets_floor(self, tx: Transaction, now: float) -> bool:
+        """Does the transaction's fee rate clear the current floor?"""
+        return effective_priority(tx.fee, tx.size_bytes) >= self.floor(now)
+
+    def on_pool_full_eviction(self, evicted_priority: float,
+                              now: float) -> None:
+        """Raise the floor above a priority that just got priced out.
+
+        The floor is monotone within an episode: a burst of evictions
+        keeps the highest bar any of them set.
+        """
+        candidate = evicted_priority * (1.0 + self.config.floor_bump_fraction)
+        if candidate > self.floor(now):
+            self._elevated = candidate
+            self._elevated_at = now
+
+    def required_replacement_fee(self, old_fee: int) -> int:
+        """Smallest absolute fee an acceptable replacement can carry.
+
+        Integer arithmetic throughout: a 10% bump over fee 100 is exactly
+        110, never ``110.00000000000001`` -- replacements at precisely the
+        advertised bump must pass.
+        """
+        bump = math.ceil(old_fee * self.config.rbf_bump_fraction)
+        return old_fee + max(1, int(bump))
+
+    def replacement_ok(self, old: Transaction, new: Transaction) -> bool:
+        """RBF acceptance: the bump must raise fee *and* fee rate.
+
+        The rate condition is checked by exact cross-multiplication
+        against the integer :meth:`required_replacement_fee`, so a
+        replacement cannot smuggle in a larger transaction at the old
+        price per byte.
+
+        >>> from repro.crypto.keys import KeyPair
+        >>> from repro.mempool.transaction import make_transaction
+        >>> kp = KeyPair.generate(seed=b"fee-market-doc")
+        >>> market = FeeMarket(FeeMarketConfig(rbf_bump_fraction=0.10))
+        >>> old = make_transaction(kp, nonce=1, fee=100, created_at=0.0)
+        >>> market.replacement_ok(old, make_transaction(kp, 1, 105, 1.0))
+        False
+        >>> market.replacement_ok(old, make_transaction(kp, 1, 110, 1.0))
+        True
+        """
+        required = self.required_replacement_fee(old.fee)
+        if new.fee < required:
+            return False
+        # rate(new) >= rate(required-at-old-size), exactly:
+        #   new.fee / new.size >= required / old.size
+        return new.fee * old.size_bytes >= required * new.size_bytes

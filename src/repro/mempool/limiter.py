@@ -1,0 +1,96 @@
+"""Per-peer ingress rate limiting: deterministic token buckets.
+
+Admission is the cheapest place to mount a denial-of-service attack --
+signature checks, nonce bookkeeping and fee-market updates all run
+before a transaction earns its place -- so the pipeline meters each
+ingress peer *first*.  One token bucket per peer: ``burst`` tokens of
+headroom, refilled at ``rate_per_s`` tokens per (simulated) second; a
+submission spends one token or is rejected ``rate_limited`` without
+touching any later stage.
+
+The bucket is a pure function of the simulation clock (no wall time, no
+randomness), so same-seed runs rate-limit identically -- the limiter
+determinism test holds the pipeline to that.  A full bucket carries no
+information (it is indistinguishable from an absent one), so
+:meth:`TokenBucketLimiter.prune` -- called by the pool on every drain
+tick -- forgets refilled peers, keeping state proportional to *active*
+peers rather than to every identity ever seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Tuple
+
+
+@dataclass(frozen=True)
+class LimiterConfig:
+    """Token-bucket parameters applied to every ingress peer."""
+
+    #: Sustained admissions per simulated second per peer.
+    rate_per_s: float = 50.0
+    #: Bucket capacity: how large a burst a quiet peer may land at once.
+    burst: float = 100.0
+
+    def __post_init__(self) -> None:
+        """Validate that both the rate and the burst are positive."""
+        if self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be > 0")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+
+
+class TokenBucketLimiter:
+    """One token bucket per peer, advanced lazily on the sim clock."""
+
+    def __init__(self, config: LimiterConfig):
+        self.config = config
+        #: peer -> (tokens remaining, sim time of last refill)
+        self._buckets: Dict[Hashable, Tuple[float, float]] = {}
+
+    def _refill(self, peer: Hashable, now: float) -> float:
+        state = self._buckets.get(peer)
+        if state is None:
+            return self.config.burst
+        tokens, last = state
+        if now > last:
+            tokens = min(self.config.burst,
+                         tokens + (now - last) * self.config.rate_per_s)
+        return tokens
+
+    def allow(self, peer: Hashable, now: float, cost: float = 1.0) -> bool:
+        """Spend ``cost`` tokens from the peer's bucket if available.
+
+        Returns False (and spends nothing) when the bucket is short --
+        the caller counts the rejection and drops the submission.
+        """
+        tokens = self._refill(peer, now)
+        if tokens < cost:
+            self._buckets[peer] = (tokens, now)
+            return False
+        self._buckets[peer] = (tokens - cost, now)
+        return True
+
+    def prune(self, now: float) -> int:
+        """Forget every peer whose bucket has refilled to full.
+
+        A full bucket is indistinguishable from no bucket at all, so
+        dropping it changes no future verdict; returns the number of
+        peers forgotten.
+        """
+        rate, burst = self.config.rate_per_s, self.config.burst
+        stale = [
+            peer for peer, (tokens, last) in self._buckets.items()
+            if tokens + max(0.0, now - last) * rate >= burst
+        ]
+        for peer in stale:
+            del self._buckets[peer]
+        return len(stale)
+
+    def tokens_of(self, peer: Hashable, now: float) -> float:
+        """Current token balance of a peer (without spending)."""
+        return self._refill(peer, now)
+
+    def active_peers(self) -> int:
+        """Number of peers currently holding non-default bucket state."""
+        return len(self._buckets)

@@ -8,8 +8,22 @@ the experiments consume: Poisson arrivals at a configurable rate, log-normal
 gas-price-like fees with a heavy low-fee tail (which drives the Highest-Fee
 starvation in Fig. 8), sizes concentrated around 250 bytes, and a Zipfian
 sender population.  See DESIGN.md section 3 (substitutions).
+
+Heavy-traffic variants layer on top of the same marginals:
+:class:`MMPPTraceGenerator` (bursty Markov-modulated arrivals),
+:class:`HotKeySampler` (hot-key sender skew via the generator's
+``account_sampler`` hook) and
+:meth:`EthereumTraceGenerator.replay_scaled` (superposed replicas for
+scaled-up replay).  All are pure functions of their seeded rngs.
 """
 
+from repro.workload.bursty import MMPPTraceGenerator
 from repro.workload.ethtrace import EthereumTraceGenerator, TraceTransaction
+from repro.workload.hotkey import HotKeySampler
 
-__all__ = ["EthereumTraceGenerator", "TraceTransaction"]
+__all__ = [
+    "EthereumTraceGenerator",
+    "HotKeySampler",
+    "MMPPTraceGenerator",
+    "TraceTransaction",
+]

@@ -10,10 +10,11 @@ behaviour Fig. 8 measures.
 
 from __future__ import annotations
 
+import heapq
 import math
 import random
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Callable, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,7 @@ class EthereumTraceGenerator:
         mean_size_bytes: int = 250,
         num_accounts: int = 1000,
         zipf_exponent: float = 1.1,
+        account_sampler: Optional[Callable[[], int]] = None,
     ):
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
@@ -60,7 +62,12 @@ class EthereumTraceGenerator:
         self.rng = rng
         self.mean_size_bytes = mean_size_bytes
         self.num_accounts = num_accounts
+        self.zipf_exponent = zipf_exponent
         self._zipf_weights = self._build_zipf(num_accounts, zipf_exponent)
+        #: Optional override for sender selection -- e.g. a
+        #: :class:`repro.workload.hotkey.HotKeySampler` sharing this
+        #: generator's rng.  ``None`` keeps the default Zipf draw.
+        self.account_sampler = account_sampler
 
     @staticmethod
     def _build_zipf(n: int, exponent: float) -> List[float]:
@@ -81,9 +88,21 @@ class EthereumTraceGenerator:
         return max(100, int(size))
 
     def _sample_account(self) -> int:
+        if self.account_sampler is not None:
+            return self.account_sampler()
         return self.rng.choices(
             range(self.num_accounts), weights=self._zipf_weights
         )[0]
+
+    def _emit(self, at_time: float) -> TraceTransaction:
+        """Draw one transaction's marginals at a fixed arrival time."""
+        return TraceTransaction(
+            at_time=at_time,
+            origin=self.rng.randrange(self.num_nodes),
+            fee=self._sample_fee(),
+            size_bytes=self._sample_size(),
+            sender_account=self._sample_account(),
+        )
 
     def stream(self, duration_s: float) -> Iterator[TraceTransaction]:
         """Yield Poisson-arrival transactions over ``duration_s`` seconds."""
@@ -94,14 +113,57 @@ class EthereumTraceGenerator:
             now += self.rng.expovariate(self.rate_per_s)
             if now >= duration_s:
                 return
-            yield TraceTransaction(
-                at_time=now,
-                origin=self.rng.randrange(self.num_nodes),
-                fee=self._sample_fee(),
-                size_bytes=self._sample_size(),
-                sender_account=self._sample_account(),
-            )
+            yield self._emit(now)
 
     def generate(self, duration_s: float) -> List[TraceTransaction]:
         """Materialised :meth:`stream`."""
         return list(self.stream(duration_s))
+
+    def _spawn(self, rng: random.Random) -> "EthereumTraceGenerator":
+        """A replica of this generator driven by an independent rng.
+
+        Subclasses override this so :meth:`replay_scaled` superposes
+        replicas of the *same* arrival process, not the base one.
+        """
+        return EthereumTraceGenerator(
+            num_nodes=self.num_nodes,
+            rate_per_s=self.rate_per_s,
+            rng=rng,
+            mean_size_bytes=self.mean_size_bytes,
+            num_accounts=self.num_accounts,
+            zipf_exponent=self.zipf_exponent,
+        )
+
+    def replay_scaled(self, duration_s: float,
+                      scale: int) -> Iterator[TraceTransaction]:
+        """Superpose ``scale`` independent replicas of this trace.
+
+        Each replica gets its own rng (seeded deterministically from
+        this generator's rng) and a disjoint account range (replica
+        ``i`` maps account ``a`` to ``a + i * num_accounts``), so the
+        merged trace looks like ``scale`` times the user population
+        submitting at ``scale`` times the aggregate rate -- the cheap
+        way to push a calibrated 20 tx/s trace into heavy-traffic
+        territory without re-fitting its marginals.  Replicas are
+        merged in arrival-time order (stable, hence deterministic).
+        """
+        if scale < 1:
+            raise ValueError(f"scale must be >= 1, got {scale}")
+
+        def _shifted(index: int, rng: random.Random
+                     ) -> Iterator[TraceTransaction]:
+            offset = index * self.num_accounts
+            for tx in self._spawn(rng).stream(duration_s):
+                yield TraceTransaction(
+                    at_time=tx.at_time,
+                    origin=tx.origin,
+                    fee=tx.fee,
+                    size_bytes=tx.size_bytes,
+                    sender_account=tx.sender_account + offset,
+                )
+
+        replicas = [
+            _shifted(i, random.Random(self.rng.getrandbits(64)))
+            for i in range(scale)
+        ]
+        return heapq.merge(*replicas, key=lambda tx: tx.at_time)

@@ -1,0 +1,106 @@
+"""The bucketed priority index: min-order, ties, lazy removal."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mempool.priority import (
+    PriorityIndex,
+    bucket_of,
+    effective_priority,
+)
+
+
+def test_effective_priority_is_fee_per_byte():
+    assert effective_priority(500, 250) == 2.0
+    assert effective_priority(1, 500) == 0.002
+
+
+def test_bucket_of_is_monotone_in_priority():
+    priorities = [0.001, 0.004, 0.1, 1.0, 2.0, 16.0, 1000.0]
+    bands = [bucket_of(p) for p in priorities]
+    assert bands == sorted(bands)
+    assert bucket_of(2.0) == bucket_of(1.0) + 1
+
+
+def test_pop_lowest_orders_by_priority():
+    index = PriorityIndex()
+    for i, priority in enumerate([5.0, 1.0, 3.0, 0.5, 2.0]):
+        index.add(i, priority, seq=i, size_bytes=10)
+    popped = [index.pop_lowest() for _ in range(5)]
+    assert [p for _i, p in popped] == [0.5, 1.0, 2.0, 3.0, 5.0]
+    assert index.pop_lowest() is None
+
+
+def test_equal_priority_evicts_newest_first():
+    index = PriorityIndex()
+    index.add(1, 1.0, seq=1, size_bytes=10)
+    index.add(2, 1.0, seq=2, size_bytes=10)
+    index.add(3, 1.0, seq=3, size_bytes=10)
+    assert [index.pop_lowest()[0] for _ in range(3)] == [3, 2, 1]
+
+
+def test_lazy_removal_and_bytes_accounting():
+    index = PriorityIndex()
+    index.add(1, 1.0, seq=1, size_bytes=100)
+    index.add(2, 2.0, seq=2, size_bytes=50)
+    assert index.total_bytes == 150
+    assert index.remove(1)
+    assert not index.remove(1)  # second removal is a no-op
+    assert index.total_bytes == 50
+    assert len(index) == 1
+    # The corpse never surfaces through peek/pop.
+    assert index.peek_lowest() == (2, 2.0)
+
+
+def test_info_snapshot_supports_rollback():
+    index = PriorityIndex()
+    index.add(7, 1.5, seq=3, size_bytes=42)
+    priority, seq, size_bytes = index.info(7)
+    index.remove(7)
+    assert index.info(7) is None
+    index.add(7, priority, seq, size_bytes)
+    assert index.peek_lowest() == (7, 1.5)
+    assert index.total_bytes == 42
+
+
+def test_band_histogram_counts_live_entries():
+    index = PriorityIndex()
+    index.add(1, 1.0, seq=1, size_bytes=10)
+    index.add(2, 1.0, seq=2, size_bytes=10)
+    index.add(3, 64.0, seq=3, size_bytes=10)
+    hist = index.band_histogram()
+    assert sum(hist.values()) == 3
+    assert hist[bucket_of(1.0)] == 2
+    index.remove(3)
+    assert bucket_of(64.0) not in index.band_histogram()
+
+
+entries = st.lists(
+    st.tuples(st.floats(min_value=0.001, max_value=100.0,
+                        allow_nan=False, allow_infinity=False),
+              st.integers(min_value=1, max_value=500)),
+    min_size=1, max_size=40,
+)
+
+
+@given(entries=entries, removals=st.sets(st.integers(0, 39)))
+@settings(max_examples=60)
+def test_pop_sequence_matches_sorted_reference(entries, removals):
+    """After arbitrary adds and removals, pop_lowest drains the survivors
+    in exactly (priority asc, seq desc) order."""
+    index = PriorityIndex()
+    for i, (priority, size) in enumerate(entries):
+        index.add(i, priority, seq=i, size_bytes=size)
+    for i in removals:
+        if i < len(entries):
+            index.remove(i)
+    alive = [i for i in range(len(entries)) if i not in removals]
+    expected = sorted(alive, key=lambda i: (entries[i][0], -i))
+    drained = []
+    while True:
+        popped = index.pop_lowest()
+        if popped is None:
+            break
+        drained.append(popped[0])
+    assert drained == expected
+    assert index.total_bytes == 0

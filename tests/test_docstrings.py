@@ -22,6 +22,9 @@ DOCTEST_MODULES = [
     "repro.sketch.pinsketch",
     "repro.sketch.partition",
     "repro.metrics.caches",
+    "repro.mempool.priority",
+    "repro.mempool.fee_market",
+    "repro.workload.hotkey",
 ]
 
 DOCUMENTED_PACKAGES = [
@@ -32,6 +35,8 @@ DOCUMENTED_PACKAGES = [
     "repro.bench",
     "repro.metrics",
     "repro.exec",
+    "repro.mempool",
+    "repro.workload",
 ]
 
 
@@ -52,6 +57,15 @@ def test_sketch_doc_examples():
                                        verbose=False)
     assert failures == 0
     assert tried > 0, "docs/sketch.md lost its worked example"
+
+
+def test_mempool_doc_examples():
+    """docs/mempool.md's worked example runs verbatim."""
+    path = os.path.join(os.path.dirname(__file__), "..", "docs", "mempool.md")
+    failures, tried = doctest.testfile(path, module_relative=False,
+                                       verbose=False)
+    assert failures == 0
+    assert tried > 0, "docs/mempool.md lost its worked example"
 
 
 def _public_symbols(module):

@@ -13,6 +13,13 @@ PUBLIC_MODULES = [
     "repro.bloomclock",
     "repro.chain",
     "repro.mempool",
+    "repro.mempool.admission",
+    "repro.mempool.priority",
+    "repro.mempool.fee_market",
+    "repro.mempool.drain",
+    "repro.mempool.evict",
+    "repro.mempool.limiter",
+    "repro.mempool.watermark",
     "repro.gossip",
     "repro.core",
     "repro.core.enforcement",
@@ -23,6 +30,8 @@ PUBLIC_MODULES = [
     "repro.baselines",
     "repro.attacks",
     "repro.workload",
+    "repro.workload.bursty",
+    "repro.workload.hotkey",
     "repro.metrics",
     "repro.metrics.caches",
     "repro.metrics.probes",
@@ -39,6 +48,7 @@ PUBLIC_MODULES = [
     "repro.bench.runner",
     "repro.bench.suites",
     "repro.bench.harness",
+    "repro.bench.mempool",
     "repro.exec",
     "repro.exec.tasks",
     "repro.exec.worker",

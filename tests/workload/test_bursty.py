@@ -1,0 +1,98 @@
+"""Heavy-traffic generators: MMPP burstiness, hot-key skew, scaled replay."""
+
+import collections
+import random
+import statistics
+
+from repro.workload import (
+    EthereumTraceGenerator,
+    HotKeySampler,
+    MMPPTraceGenerator,
+)
+
+
+def make_mmpp(seed=1, rate=20.0, **kwargs):
+    return MMPPTraceGenerator(
+        num_nodes=10, rate_per_s=rate, rng=random.Random(seed), **kwargs
+    )
+
+
+def vmr_of_counts(trace, duration):
+    """Variance-to-mean ratio of per-second arrival counts."""
+    counts = collections.Counter(int(t.at_time) for t in trace)
+    per_second = [counts.get(s, 0) for s in range(int(duration))]
+    mean = statistics.mean(per_second)
+    return statistics.variance(per_second) / mean
+
+
+def test_mmpp_same_seed_identical():
+    a = make_mmpp(seed=9).generate(60.0)
+    b = make_mmpp(seed=9).generate(60.0)
+    assert [(t.at_time, t.origin, t.fee, t.size_bytes, t.sender_account)
+            for t in a] == \
+           [(t.at_time, t.origin, t.fee, t.size_bytes, t.sender_account)
+            for t in b]
+
+
+def test_mmpp_is_overdispersed_vs_poisson():
+    duration = 300.0
+    bursty = make_mmpp(seed=4, burst_multiplier=10.0).generate(duration)
+    poisson = EthereumTraceGenerator(
+        num_nodes=10, rate_per_s=20.0, rng=random.Random(4)
+    ).generate(duration)
+    # A Poisson process has VMR ~1; the MMPP mixture is far above it.
+    assert vmr_of_counts(poisson, duration) < 2.0
+    assert vmr_of_counts(bursty, duration) > 3.0
+
+
+def test_mmpp_times_sorted_and_mean_rate_sane():
+    gen = make_mmpp(seed=2, rate=10.0, burst_multiplier=8.0,
+                    mean_calm_s=8.0, mean_burst_s=2.0)
+    trace = gen.generate(200.0)
+    times = [t.at_time for t in trace]
+    assert times == sorted(times)
+    assert all(0 <= t < 200.0 for t in times)
+    expected = gen.mean_rate_per_s * 200.0
+    assert 0.5 * expected < len(trace) < 1.7 * expected
+
+
+def test_hot_key_sampler_concentrates_mass():
+    rnd = random.Random(11)
+    sampler = HotKeySampler(rnd, num_accounts=1000, num_hot=4,
+                            hot_fraction=0.7)
+    draws = [sampler() for _ in range(20_000)]
+    assert all(0 <= a < 1000 for a in draws)
+    hot_share = sum(1 for a in draws if a < 4) / len(draws)
+    assert 0.65 < hot_share < 0.75
+    assert len(set(draws)) > 100  # the cold tail still gets traffic
+
+
+def test_hot_key_sampler_skews_trace_accounts():
+    rnd = random.Random(5)
+    gen = MMPPTraceGenerator(
+        num_nodes=10, rate_per_s=50.0, rng=rnd,
+        account_sampler=HotKeySampler(rnd, num_accounts=1000, num_hot=8,
+                                      hot_fraction=0.6),
+    )
+    trace = gen.generate(120.0)
+    hot = sum(1 for t in trace if t.sender_account < 8)
+    assert hot / len(trace) > 0.5
+
+
+def test_replay_scaled_merges_disjoint_account_replicas():
+    gen = make_mmpp(seed=6, rate=5.0)
+    base = list(gen.replay_scaled(60.0, scale=1))
+    scaled = list(make_mmpp(seed=6, rate=5.0).replay_scaled(60.0, scale=3))
+    # Same seed, same scale -> byte-identical replay.
+    again = list(make_mmpp(seed=6, rate=5.0).replay_scaled(60.0, scale=3))
+    assert [(t.at_time, t.sender_account) for t in scaled] == \
+           [(t.at_time, t.sender_account) for t in again]
+    # Roughly scale x the traffic, merged in time order.
+    assert 2 * len(base) < len(scaled) < 4 * len(base)
+    times = [t.at_time for t in scaled]
+    assert times == sorted(times)
+    # Replica i draws accounts from [i*N, (i+1)*N): no cross-replica
+    # nonce collisions when the accounts become signing keys.
+    num_accounts = gen.num_accounts
+    replicas = {t.sender_account // num_accounts for t in scaled}
+    assert replicas == {0, 1, 2}

@@ -15,7 +15,10 @@ Watched metrics (higher is better):
   *both* files (this covers per-topology rows such as
   ``sim/run/nodes=1000`` individually);
 * ``sketch``  -- ``ops_per_second`` of every ``decode/...`` result case
-  present in *both* files, matched by exact case name.
+  present in *both* files, matched by exact case name;
+* ``mempool`` -- ``derived.admissions_per_second`` (admission-pipeline
+  throughput) and ``ops_per_second`` of every ``admit...``/``evict...``
+  result case present in *both* files.
 
 ``--require-case SUITE:NAME`` additionally *demands* that the freshly
 generated suite file contains a result case with that exact name (exit 2
@@ -47,7 +50,7 @@ import sys
 from typing import Dict, Iterator, List, Optional, Tuple
 
 DEFAULT_THRESHOLD = 0.20
-DEFAULT_SUITES = ("harness", "sketch")
+DEFAULT_SUITES = ("harness", "sketch", "mempool")
 
 #: suite -> list of (metric label, extractor); extractor returns
 #: ``{label: higher-is-better value}`` entries found in a payload.
@@ -90,6 +93,15 @@ def watched_metrics(suite: str, payload: dict) -> Dict[str, float]:
         for result in payload.get("results", []):
             name = result.get("name", "")
             if name.startswith("decode/"):
+                metrics[f"result.{name}.ops_per_second"] = \
+                    float(result["ops_per_second"])
+    elif suite == "mempool":
+        if "admissions_per_second" in derived:
+            metrics["derived.admissions_per_second"] = \
+                float(derived["admissions_per_second"])
+        for result in payload.get("results", []):
+            name = result.get("name", "")
+            if name.startswith(("admit", "evict")):
                 metrics[f"result.{name}.ops_per_second"] = \
                     float(result["ops_per_second"])
     return metrics
@@ -212,7 +224,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--fresh-dir", required=True,
                         help="directory with the freshly generated files")
     parser.add_argument("--suites", nargs="+", default=list(DEFAULT_SUITES),
-                        help="suites to compare (default: harness sketch)")
+                        help="suites to compare"
+                             " (default: harness sketch mempool)")
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                         help="max tolerated fractional drop (default 0.20)")
     parser.add_argument("--ignore-params", action="store_true",
