@@ -29,6 +29,7 @@ from repro.bench.runner import (
     write_bench_json,
 )
 from repro.bench.harness import harness_suite
+from repro.bench.obs import obs_suite
 from repro.bench.suites import SUITES, reconcile_suite, sketch_suite
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
     "bench_case",
     "bench_payload",
     "harness_suite",
+    "obs_suite",
     "reconcile_suite",
     "run_suites",
     "sketch_suite",
@@ -53,6 +55,7 @@ def run_suites(
     out_dir: str = ".",
     profile: bool = False,
     profile_top: int = 25,
+    phases: bool = False,
 ) -> Dict[str, Dict[str, Any]]:
     """Run the named suites (default: all) and write ``BENCH_<name>.json``.
 
@@ -66,6 +69,12 @@ def run_suites(
     Profiling adds interpreter overhead, so the JSON numbers from a
     profiled run are for *shape* (where the time goes), not for trend
     comparison.
+
+    With ``phases=True`` each suite runs with a
+    :class:`repro.obs.PhaseProfiler` installed and its per-phase
+    wall-clock attribution is exposed as ``payload["phases"]`` (not
+    written to the JSON file -- wall-clock phase numbers are run-local,
+    while the file feeds the cross-PR trend check).
     """
     selected = list(names) if names is not None else sorted(SUITES)
     unknown = [n for n in selected if n not in SUITES]
@@ -80,8 +89,18 @@ def run_suites(
 
             profiler = cProfile.Profile()
             profiler.enable()
+        phase_profiler = None
         try:
-            results, derived, params = SUITES[name](quick=quick, seed=seed)
+            if phases:
+                from repro import obs as _obs
+
+                phase_profiler = _obs.PhaseProfiler()
+                with _obs.use_profiler(phase_profiler):
+                    results, derived, params = SUITES[name](quick=quick,
+                                                            seed=seed)
+            else:
+                results, derived, params = SUITES[name](quick=quick,
+                                                        seed=seed)
         finally:
             if profiler is not None:
                 profiler.disable()
@@ -90,6 +109,8 @@ def run_suites(
             path, name, results, derived=derived, params=params
         )
         payload["path"] = path
+        if phase_profiler is not None:
+            payload["phases"] = phase_profiler.as_dict()
         if profiler is not None:
             profile_path = os.path.join(out_dir, f"BENCH_{name}.profile.txt")
             _write_profile(profile_path, name, profiler, profile_top)

@@ -1,0 +1,132 @@
+"""The ``obs`` bench suite: what telemetry costs when on -- and off.
+
+The observability layer's contract is "zero cost when off": tracing,
+timeline recording and phase profiling all hide behind module-level
+guards, so a run without telemetry should be indistinguishable from one
+on a build that never had the instrumentation.  This suite pins that
+contract to numbers, emitting ``BENCH_obs.json``:
+
+* ``sim/run/telemetry=off`` -- the end-to-end harness probe with every
+  telemetry layer disabled.  Deliberately the exact simulation shape of
+  the ``harness`` suite's ``sim/run/nodes=24`` case, so the two files'
+  events/sec stay directly comparable across PRs: a drift between them
+  is overhead leaking into the off path.
+* ``sim/run/telemetry=trace`` / ``=timeline`` / ``=phases`` -- the same
+  run with one layer enabled, giving each layer's real end-to-end cost.
+* ``tracer/message_event`` and ``timeline/sample`` -- microbenchmarks of
+  the two per-record hot calls behind those costs.
+
+Derived metrics:
+
+* ``telemetry_off_events_per_second`` -- the headline off-path
+  throughput (compare against ``BENCH_harness.json``'s
+  ``events_per_second``);
+* ``trace_overhead_fraction`` / ``timeline_overhead_fraction`` /
+  ``phases_overhead_fraction`` -- per-layer slowdown of the whole run,
+  as (on - off) / off wall time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro import obs
+from repro.bench.harness import _sim_params
+from repro.bench.runner import BenchResult, bench_case
+
+SuiteOutput = Tuple[List[BenchResult], Dict[str, float], Dict[str, Any]]
+
+
+def obs_suite(quick: bool = False, seed: int = 42) -> SuiteOutput:
+    """Telemetry on/off overhead benchmarks.
+
+    Returns ``(results, derived, params)`` like the other suites.  The
+    headline derived numbers are ``telemetry_off_events_per_second``
+    (must track the ``harness`` suite's ``events_per_second``) and the
+    per-layer ``*_overhead_fraction`` values.
+    """
+    from repro.exec.tasks import run_plain
+
+    results: List[BenchResult] = []
+    derived: Dict[str, float] = {}
+    repeats = 1 if quick else 2
+
+    sim_kwargs = _sim_params(quick)
+    probe = run_plain(seed=seed, **sim_kwargs)
+    events = int(probe["events_processed"])
+
+    def run_off():
+        run_plain(seed=seed, **sim_kwargs)
+
+    def run_traced():
+        with obs.use_tracer(obs.Tracer()):
+            run_plain(seed=seed, **sim_kwargs)
+
+    def run_timelined():
+        with obs.use_timeline(obs.TimelineRecorder(interval_s=0.5,
+                                                   bins=256)):
+            run_plain(seed=seed, **sim_kwargs)
+
+    def run_phased():
+        with obs.use_profiler(obs.PhaseProfiler()):
+            run_plain(seed=seed, **sim_kwargs)
+
+    cases = {}
+    for label, fn in (("off", run_off), ("trace", run_traced),
+                      ("timeline", run_timelined), ("phases", run_phased)):
+        case = bench_case(
+            f"sim/run/telemetry={label}", fn,
+            params=dict(sim_kwargs, seed=seed, events=events),
+            iterations=1, repeats=repeats, ops_per_call=events,
+        )
+        results.append(case)
+        cases[label] = case
+
+    derived["telemetry_off_events_per_second"] = cases["off"].ops_per_second
+    off_s = cases["off"].seconds_per_op
+    if off_s > 0:
+        for label in ("trace", "timeline", "phases"):
+            derived[f"{label}_overhead_fraction"] = (
+                (cases[label].seconds_per_op - off_s) / off_s
+            )
+
+    # --- per-record micro costs ----------------------------------------
+    batch = 2_000 if quick else 20_000
+
+    tracer = obs.Tracer()
+
+    def message_events():
+        tracer.records.clear()
+        tracer._msg_counts.clear()
+        emit = tracer.message_event
+        for i in range(batch):
+            emit("net.send", 0.001 * i, "tx", 1, 2, 250)
+
+    results.append(bench_case(
+        "tracer/message_event", message_events,
+        params={"batch": batch}, ops_per_call=batch, repeats=repeats,
+    ))
+
+    registry = obs.MetricsRegistry()
+    counter = registry.counter("bench.events")
+    gauge = registry.gauge("bench.depth")
+    samples = 200 if quick else 1_000
+    recorder_bins = 64
+
+    def timeline_samples():
+        recorder = obs.TimelineRecorder(registry=registry, interval_s=0.5,
+                                        bins=recorder_bins)
+        for i in range(samples):
+            counter.inc(3)
+            gauge.set(float(i % 7))
+            recorder.sample(0.5 * i)
+
+    results.append(bench_case(
+        "timeline/sample", timeline_samples,
+        params={"samples": samples, "bins": recorder_bins},
+        ops_per_call=samples, repeats=repeats,
+    ))
+
+    params = {"quick": quick, "seed": seed, "sim": sim_kwargs,
+              "events": events, "batch": batch, "samples": samples}
+    return results, derived, params

@@ -235,10 +235,12 @@ def reconcile_suite(quick: bool = False, seed: int = 42) -> SuiteOutput:
 
 from repro.bench.harness import harness_suite  # noqa: E402  (suite registry)
 from repro.bench.mempool import mempool_suite  # noqa: E402  (suite registry)
+from repro.bench.obs import obs_suite  # noqa: E402  (suite registry)
 
 SUITES = {
     "sketch": sketch_suite,
     "reconcile": reconcile_suite,
     "harness": harness_suite,
     "mempool": mempool_suite,
+    "obs": obs_suite,
 }

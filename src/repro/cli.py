@@ -99,7 +99,21 @@ def cmd_run(args) -> int:
             scale=args.scale,
             rbf_fraction=args.rbf_fraction,
         )
-    sim.run(args.duration + args.drain)
+    horizon = args.duration + args.drain
+    steady_outcome = None
+    if args.until_steady:
+        from repro import obs
+
+        monitor = obs.SteadyStateMonitor(
+            obs.TIMELINE,
+            series=args.steady_series or None,
+            window_bins=args.steady_window,
+            rel_tol=args.steady_rel_tol,
+        )
+        steady_outcome = sim.run_until_steady(horizon, monitor=monitor)
+    else:
+        sim.run(horizon)
+    sim.finalize_telemetry()
     latencies = sim.mempool_tracker.all_latencies()
     admission = sim.admission_breakdown()
     rows = [
@@ -119,6 +133,11 @@ def cmd_run(args) -> int:
                      + admission.get("replaced", 0)))
         rows.append(("admission rejects", rejected))
         rows.append(("drained", admission.get("drained", 0)))
+    if steady_outcome is not None:
+        rows.append(("steady", "yes" if steady_outcome["steady"] else "no"))
+        rows.append(("stopped at (s)",
+                     f"{steady_outcome['t']:.2f} of"
+                     f" {steady_outcome['horizon']:.2f}"))
     print(format_table(("metric", "value"), rows))
     result = {
         "nodes": args.nodes,
@@ -132,6 +151,11 @@ def cmd_run(args) -> int:
         "wire_violation_totals": sim.wire_violation_totals(),
         "metrics": sim.metrics_snapshot(),
     }
+    if steady_outcome is not None:
+        result["steady"] = steady_outcome
+    profiler = getattr(args, "_profiler", None)
+    if profiler is not None:
+        result["phases"] = profiler.as_dict()
     _emit(result, args, "run")
     return 0
 
@@ -272,7 +296,7 @@ def cmd_bench(args) -> int:
     suites = None if args.suite == "all" else [args.suite]
     payloads = run_suites(suites, quick=args.quick, seed=args.seed,
                           out_dir=args.out_dir, profile=args.profile,
-                          profile_top=args.profile_top)
+                          profile_top=args.profile_top, phases=args.phases)
     for name, payload in payloads.items():
         rows = [
             (r["name"], r["iterations"],
@@ -287,6 +311,14 @@ def cmd_bench(args) -> int:
             print(format_table(
                 ("derived", "value"),
                 [(k, f"{v:.2f}") for k, v in sorted(payload["derived"].items())],
+            ))
+        if payload.get("phases"):
+            print()
+            print(format_table(
+                ("phase", "calls", "self_s", "incl_s", "self_frac"),
+                [(p, d["calls"], f"{d['self_s']:.4f}", f"{d['incl_s']:.4f}",
+                  f"{d['self_fraction']:.1%}")
+                 for p, d in payload["phases"].items()],
             ))
         print(f"[json written to {payload['path']}]")
         if "profile_path" in payload:
@@ -432,6 +464,40 @@ def cmd_sweep(args) -> int:
     return code
 
 
+def _print_timeline_table(records) -> None:
+    """Render ``timeline`` records as one sparkline table."""
+    from repro.obs.report import timeline_rows
+
+    rows = timeline_rows(records)
+    if not rows:
+        print("no timeline series recorded")
+        return
+    print(f"timeline series ({len(rows)})")
+    print(format_table(
+        ("series", "kind", "bins", "bin_s", "total/last", "spark"),
+        rows,
+    ))
+
+
+def _first_schema(path: str) -> Optional[str]:
+    """The ``schema`` tag of a JSONL file's first line, if any."""
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if isinstance(record, dict):
+                    return record.get("schema")
+                return None
+    except (OSError, ValueError):
+        return None
+    return None
+
+
 def cmd_report(args) -> int:
     from repro.obs.report import (
         cache_rows,
@@ -442,6 +508,31 @@ def cmd_report(args) -> int:
         span_rows,
     )
     from repro.obs.schema import validate_trace_file
+    from repro.obs.timeline import TIMELINE_SCHEMA, load_timeline
+
+    if _first_schema(args.trace) == TIMELINE_SCHEMA:
+        # Standalone timeline export (run --timeline): validate and render
+        # the sparkline table -- there are no spans/events to summarise.
+        from repro.obs.timeline import validate_timeline_lines
+
+        with open(args.trace, "r", encoding="utf-8") as stream:
+            errors = validate_timeline_lines(stream)
+        if errors:
+            for error in errors[:20]:
+                print(error, file=sys.stderr)
+            print(f"[{len(errors)} schema error(s) in {args.trace}]",
+                  file=sys.stderr)
+            return 1
+        meta, timeline_records = load_timeline(args.trace)
+        print(f"timeline: {args.trace}  (schema {TIMELINE_SCHEMA},"
+              f" {len(timeline_records)} series)")
+        if meta:
+            print(format_table(
+                ("meta", "value"), sorted((k, v) for k, v in meta.items())
+            ))
+        print()
+        _print_timeline_table(timeline_records)
+        return 0
 
     errors = validate_trace_file(args.trace)
     if errors:
@@ -465,6 +556,9 @@ def cmd_report(args) -> int:
         print("span durations (all nodes)")
         print(format_table(headers, aggregate))
         print()
+    else:
+        print("no spans recorded")
+        print()
     per_node = span_rows(records, per_node=True)
     if per_node:
         shown = per_node[: args.limit]
@@ -478,6 +572,9 @@ def cmd_report(args) -> int:
         print("events")
         print(format_table(("event", "count"), counts))
         print()
+    else:
+        print("no events recorded")
+        print()
 
     faults = fault_detection_rows(records)
     if faults:
@@ -488,9 +585,21 @@ def cmd_report(args) -> int:
             [(n, k, t, _s(s), _s(e), _s(l)) for n, k, t, s, e, l in faults],
         ))
         print()
+    else:
+        print("no faults recorded (no chaos crashes, equivocations or"
+              " block-policy violations in this trace)")
+        print()
+
+    if args.timeline:
+        _print_timeline_table(
+            [r for r in records if r.get("type") == "timeline"]
+        )
+        print()
 
     metrics = final_metrics(records)
-    if metrics is not None:
+    if metrics is None:
+        print("no metrics snapshots recorded")
+    else:
         caches = cache_rows(metrics)
         if caches:
             print(f"cache effectiveness (t={metrics['t']:.2f}s)")
@@ -505,6 +614,48 @@ def cmd_report(args) -> int:
             print(f"final counters (t={metrics['t']:.2f}s)")
             print(format_table(("counter", "value"), counters))
     return 0
+
+
+def cmd_watch(args) -> int:
+    import time as wall_time
+
+    from repro.obs.live import (
+        detect_watch_target,
+        read_telemetry,
+        spool_is_finished,
+        spool_watch_rows,
+        telemetry_is_finished,
+        telemetry_rows,
+    )
+
+    while True:
+        kind = detect_watch_target(args.target)
+        done = False
+        if kind == "spool":
+            from repro.exec.spool import spool_status
+
+            status = spool_status(args.target)
+            rows = spool_watch_rows(status)
+            done = spool_is_finished(status)
+        elif kind == "telemetry":
+            doc = read_telemetry(args.target)
+            if doc is None:
+                rows = [("status", "telemetry file not readable yet")]
+            else:
+                rows = telemetry_rows(doc)
+                done = telemetry_is_finished(doc)
+        else:
+            if args.once:
+                print(f"{args.target}: no telemetry.json or spool"
+                      " manifest.json found", file=sys.stderr)
+                return 2
+            rows = [("status", "waiting for target to appear")]
+        print(f"[watch {kind or 'pending'}: {args.target}]")
+        print(format_table(("field", "value"), rows))
+        if args.once or done:
+            return 0
+        print()
+        wall_time.sleep(args.interval)
 
 
 def _s(value: Optional[float]) -> str:
@@ -546,6 +697,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rbf-fraction", type=float, default=0.0,
                    help="probability an open-loop client re-submits its"
                         " previous nonce (exercises replace-by-fee)")
+    p.add_argument("--timeline", type=str, default=None, metavar="PATH",
+                   help="write a repro.timeline/1 JSONL of fixed-memory"
+                        " metric series sampled on the sim clock")
+    p.add_argument("--timeline-csv", type=str, default=None, metavar="PATH",
+                   help="also write the timeline as a flat CSV")
+    p.add_argument("--timeline-bins", type=int, default=256,
+                   help="per-series bin budget (power of two; memory stays"
+                        " O(bins) regardless of run length)")
+    p.add_argument("--timeline-interval", type=float, default=0.5,
+                   help="base sampling interval in simulated seconds")
+    p.add_argument("--until-steady", action="store_true",
+                   help="stop as soon as the watched series stop drifting"
+                        " (fee floor + pool occupancy by default) instead"
+                        " of always running to duration+drain")
+    p.add_argument("--steady-window", type=int, default=12,
+                   help="completed timeline bins each watched series must"
+                        " hold steady over")
+    p.add_argument("--steady-rel-tol", type=float, default=0.05,
+                   help="relative spread tolerance for the steady verdict")
+    p.add_argument("--steady-series", action="append", metavar="NAME",
+                   help="timeline series to watch (repeatable; default:"
+                        " mempool.fee_floor_avg + mempool.pool_txs_avg)")
+    p.add_argument("--telemetry-dir", type=str, default=None, metavar="DIR",
+                   help="publish a live telemetry.json status document into"
+                        " DIR (atomic replace; tail it with"
+                        " 'python -m repro watch DIR')")
+    p.add_argument("--phases", action="store_true",
+                   help="profile wall-clock time per phase (net, reconcile,"
+                        " mempool, crypto, ...) and print the table")
     _add_common(p, sweeps=False)
     p.set_defaults(func=cmd_run)
 
@@ -667,10 +847,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate and summarise a repro.trace/1 JSONL trace"
              " (span durations, fault->detection latency, cache stats)",
     )
-    p.add_argument("trace", type=str, help="path to a --trace JSONL file")
+    p.add_argument("trace", type=str,
+                   help="path to a --trace JSONL file (or a standalone"
+                        " --timeline export)")
     p.add_argument("--limit", type=int, default=40,
                    help="max per-node span rows to print")
+    p.add_argument("--timeline", action="store_true",
+                   help="render embedded timeline series as sparkline"
+                        " tables (standalone timeline files always render)")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "watch",
+        help="tail a running run --telemetry-dir directory or a"
+             " sweep --spool directory without disturbing it",
+    )
+    p.add_argument("target", type=str,
+                   help="telemetry directory/file or spool directory")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit (for scripts/CI)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="poll interval in wall seconds (default 2)")
+    p.set_defaults(func=cmd_watch)
 
     p = sub.add_parser(
         "bench",
@@ -679,7 +877,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--suite",
                    choices=["sketch", "reconcile", "harness", "mempool",
-                            "all"],
+                            "obs", "all"],
                    default="all")
     p.add_argument("--quick", action="store_true",
                    help="reduced sizes for CI smoke runs")
@@ -692,9 +890,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "the JSON (numbers then measure shape, not speed)")
     p.add_argument("--profile-top", type=int, default=25,
                    help="functions per section in the profile table")
+    p.add_argument("--phases", action="store_true",
+                   help="run each suite under the phase profiler and print"
+                        " per-phase wall-clock attribution")
     p.set_defaults(func=cmd_bench)
 
     return parser
+
+
+def _timeline_requested(args) -> bool:
+    """Whether the verb's flags ask for a timeline recorder."""
+    return bool(
+        getattr(args, "timeline", None)
+        or getattr(args, "timeline_csv", None)
+        or getattr(args, "until_steady", False)
+        or getattr(args, "telemetry_dir", None)
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -704,33 +915,83 @@ def main(argv: Optional[List[str]] = None) -> int:
     installed for the duration of the command and the collected records
     are exported afterwards; otherwise the process-wide no-op tracer stays
     in place and tracing costs one attribute check per instrumented site.
+    The same pattern covers the other telemetry layers: ``--timeline`` /
+    ``--until-steady`` / ``--telemetry-dir`` install a
+    :class:`~repro.obs.timeline.TimelineRecorder` and ``--phases`` a
+    :class:`~repro.obs.phases.PhaseProfiler` for the command's duration
+    (``bench --phases`` manages its own per-suite profiler instead).
     """
     args = build_parser().parse_args(argv)
+    if args.command in ("report", "watch", "bench"):
+        # report/watch only read artifacts; bench manages its own
+        # telemetry (per-suite tracer/timeline/profiler installs).
+        return args.func(args)
     trace_path = getattr(args, "trace", None)
     chrome_path = getattr(args, "trace_chrome", None)
-    if args.command == "report" or (not trace_path and not chrome_path):
+    wants_trace = bool(trace_path or chrome_path)
+    wants_timeline = _timeline_requested(args)
+    wants_phases = getattr(args, "phases", False)
+    if not wants_trace and not wants_timeline and not wants_phases:
         return args.func(args)
+
+    from contextlib import ExitStack
 
     from repro import obs
 
-    tracer = obs.Tracer(
-        sample_every=args.trace_sample,
-        snapshot_interval_s=args.trace_snapshot_s,
-    )
     meta = {
         "command": args.command,
         "seed": getattr(args, "seed", None),
-        "sample_every": args.trace_sample,
-        "snapshot_interval_s": args.trace_snapshot_s,
     }
-    with obs.use_tracer(tracer):
+    tracer = None
+    timeline = None
+    profiler = None
+    with ExitStack() as stack:
+        if wants_trace:
+            tracer = obs.Tracer(
+                sample_every=args.trace_sample,
+                snapshot_interval_s=args.trace_snapshot_s,
+            )
+            meta["sample_every"] = args.trace_sample
+            meta["snapshot_interval_s"] = args.trace_snapshot_s
+            stack.enter_context(obs.use_tracer(tracer))
+        if wants_timeline:
+            timeline = obs.TimelineRecorder(
+                interval_s=args.timeline_interval,
+                bins=args.timeline_bins,
+            )
+            if args.telemetry_dir:
+                timeline.sink = obs.TelemetrySink(args.telemetry_dir)
+            stack.enter_context(obs.use_timeline(timeline))
+        if wants_phases:
+            profiler = obs.PhaseProfiler()
+            args._profiler = profiler
+            stack.enter_context(obs.use_profiler(profiler))
         code = args.func(args)
-    if trace_path:
-        written = obs.export_jsonl(tracer, trace_path, meta)
+    if trace_path and tracer is not None:
+        written = obs.export_jsonl(tracer, trace_path, meta,
+                                   timeline=timeline)
         print(f"[trace written to {trace_path} ({written} records)]")
-    if chrome_path:
-        written = obs.export_chrome(tracer, chrome_path, meta)
+    if chrome_path and tracer is not None:
+        written = obs.export_chrome(tracer, chrome_path, meta,
+                                    timeline=timeline)
         print(f"[chrome trace written to {chrome_path} ({written} events)]")
+    if timeline is not None and getattr(args, "timeline", None):
+        written = timeline.export_jsonl(args.timeline, meta)
+        print(f"[timeline written to {args.timeline} ({written} series)]")
+    if timeline is not None and getattr(args, "timeline_csv", None):
+        written = timeline.export_csv(args.timeline_csv)
+        print(f"[timeline csv written to {args.timeline_csv}"
+              f" ({written} rows)]")
+    if timeline is not None and timeline.sink is not None:
+        print(f"[telemetry published to {timeline.sink.path}"
+              f" ({timeline.sink.flushes} flushes)]")
+    if profiler is not None:
+        print()
+        print(format_table(
+            ("phase", "calls", "self_s", "incl_s", "self_frac"),
+            [(p, c, f"{s:.4f}", f"{i:.4f}", f"{f:.1%}")
+             for p, c, s, i, f in profiler.rows()],
+        ))
     return code
 
 

@@ -13,8 +13,9 @@ in :mod:`repro.attacks` plugs into the same harness.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
 from repro import obs
 from repro.chain.leader import LeaderSchedule
@@ -196,7 +197,14 @@ class LOSimulation:
         self._client_rng = self.rng.stream("client-behaviour")
 
         self._runs = 0
+        # Telemetry context: wall-clock anchor for live event-rate
+        # reporting (never enters deterministic artifacts), plus the
+        # horizon/monitor the status document reports against.
+        self._wall_start = time.perf_counter()
+        self._telemetry_horizon: Optional[float] = None
+        self._steady_monitor = None
         self._wire_tracing()
+        self._wire_timeline()
 
     # -------------------------------------------------------- observability
 
@@ -240,6 +248,96 @@ class LOSimulation:
             self.loop.call_later(interval, snapshot_tick)
 
         self.loop.call_later(interval, snapshot_tick)
+
+    def _wire_timeline(self) -> None:
+        """Hook the installed timeline recorder up to this run, if any.
+
+        Schedules a ``telemetry_tick`` at the recorder's base interval:
+        each tick records the harness-derived gauges (mean fee floor and
+        pool occupancy across admission-enabled nodes), absorbs one
+        registry snapshot, and -- when the recorder carries a live
+        :class:`~repro.obs.live.TelemetrySink` -- publishes a progress
+        document, throttled on the wall clock.
+        """
+        timeline = obs.TIMELINE
+        if timeline is None:
+            return
+        self.attach_registry(timeline.registry)
+        interval = timeline.interval_s
+
+        def telemetry_tick() -> None:
+            current = obs.TIMELINE
+            if current is None:
+                return  # recorder detached mid-run; stop rescheduling
+            self._sample_timeline(current)
+            sink = current.sink
+            if sink is not None:
+                sink.maybe_flush(lambda: self._telemetry_payload(current))
+            self.loop.call_later(interval, telemetry_tick)
+
+        self.loop.call_later(interval, telemetry_tick)
+
+    def _sample_timeline(self, timeline) -> None:
+        """Record the derived gauges, then absorb one registry snapshot."""
+        now = self.loop.now
+        pools = [n.mempool for n in self.nodes.values()
+                 if n.mempool is not None]
+        if pools:
+            timeline.record_gauge(
+                "mempool.fee_floor_avg", now,
+                sum(p.floor(now) for p in pools) / len(pools),
+            )
+            timeline.record_gauge(
+                "mempool.pool_txs_avg", now,
+                sum(len(p) for p in pools) / len(pools),
+            )
+        timeline.sample(now)
+
+    def _telemetry_payload(self, timeline,
+                           done: bool = False) -> Dict[str, Any]:
+        """The live-status document one sink flush publishes."""
+        payload: Dict[str, Any] = {
+            "t": self.loop.now,
+            "events_processed": self.loop.processed_events,
+            "seed": self.params.seed,
+            "num_nodes": self.params.num_nodes,
+            "done": done,
+        }
+        if self._telemetry_horizon is not None:
+            payload["horizon"] = self._telemetry_horizon
+        wall = time.perf_counter() - self._wall_start
+        if wall > 0:
+            payload["events_per_wall_s"] = self.loop.processed_events / wall
+        monitor = self._steady_monitor
+        if monitor is not None:
+            payload["steady"] = monitor.status()
+            watched = monitor.series
+        else:
+            watched = [name for name in obs.steady.DEFAULT_STEADY_SERIES
+                       if timeline.series(name) is not None]
+        series_last = {}
+        for name in watched:
+            series = timeline.series(name)
+            if series is not None and series.last() is not None:
+                series_last[name] = series.last()
+        if series_last:
+            payload["series_last"] = series_last
+        return payload
+
+    def finalize_telemetry(self) -> None:
+        """Take a final timeline sample and publish the closing status.
+
+        Call once after the last :meth:`run` /
+        :meth:`run_until_steady` leg; the closing flush is unconditional
+        (not wall-throttled) and marks the document ``done`` so watchers
+        know the run ended rather than stalled.
+        """
+        timeline = obs.TIMELINE
+        if timeline is None:
+            return
+        self._sample_timeline(timeline)
+        if timeline.sink is not None:
+            timeline.sink.flush(self._telemetry_payload(timeline, done=True))
 
     def _halt_node(self, node_id: int) -> None:
         node = self.nodes.get(node_id)
@@ -472,6 +570,8 @@ class LOSimulation:
 
     def run(self, until: float) -> None:
         """Advance simulated time (traced as one ``sim.run`` phase span)."""
+        if self._telemetry_horizon is None or until > self._telemetry_horizon:
+            self._telemetry_horizon = until
         tracer = obs.TRACER
         if not tracer.enabled:
             self.loop.run_until(until)
@@ -489,6 +589,68 @@ class LOSimulation:
             if tracer.enabled:
                 tracer.snapshot_metrics(self.loop.now)
                 tracer.end_span(span, self.loop.now)
+
+    def run_until_steady(
+        self,
+        horizon: float,
+        monitor=None,
+        check_every_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Advance time until steady state or ``horizon``, whichever first.
+
+        Requires an installed timeline recorder (``obs.TIMELINE``) -- the
+        steady verdict is a pure function of its series, so same-seed
+        runs stop at the same simulated time.  ``monitor`` defaults to a
+        :class:`~repro.obs.steady.SteadyStateMonitor` over
+        :data:`~repro.obs.steady.DEFAULT_STEADY_SERIES`;
+        ``check_every_s`` is the re-check period (default: four timeline
+        intervals, so a verdict lands within a few bins of convergence).
+
+        Returns ``{"steady": bool, "steady_at": float | None,
+        "t": float, "horizon": float}``.  Traced as one
+        ``sim.run_until_steady`` span.
+        """
+        timeline = obs.TIMELINE
+        if timeline is None:
+            raise ValueError(
+                "run_until_steady needs an installed timeline recorder"
+                " (obs.set_timeline / obs.use_timeline)"
+            )
+        if monitor is None:
+            monitor = obs.SteadyStateMonitor(timeline)
+        self._steady_monitor = monitor
+        self._telemetry_horizon = horizon
+        step = check_every_s if check_every_s is not None \
+            else timeline.interval_s * 4
+        if step <= 0:
+            raise ValueError(f"check_every_s must be > 0, got {step}")
+        tracer = obs.TRACER
+        span = None
+        if tracer.enabled:
+            self._runs += 1
+            span = tracer.begin_span(
+                "sim.run_until_steady", self.loop.now, phase=self._runs,
+                num_nodes=self.params.num_nodes, seed=self.params.seed,
+                horizon=horizon,
+            )
+        steady_at: Optional[float] = None
+        try:
+            while self.loop.now < horizon:
+                self.loop.run_until(min(horizon, self.loop.now + step))
+                if monitor.check():
+                    steady_at = self.loop.now
+                    break
+        finally:
+            tracer = obs.TRACER
+            if tracer.enabled and span is not None:
+                tracer.snapshot_metrics(self.loop.now)
+                tracer.end_span(span, self.loop.now)
+        return {
+            "steady": steady_at is not None,
+            "steady_at": steady_at,
+            "t": self.loop.now,
+            "horizon": horizon,
+        }
 
     # ------------------------------------------------------------- analysis
 

@@ -37,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from repro import obs
 from repro.mempool.drain import DrainQueue
 from repro.mempool.evict import Evictor
 from repro.mempool.fee_market import FeeMarket, FeeMarketConfig
@@ -68,6 +69,21 @@ REJECT_REASONS: Tuple[str, ...] = (
 #: Pool-exit counters (beyond draining).
 E_POOL_FULL = "evicted_pool_full"
 E_AGE = "expired_age"
+
+#: Installed phase profiler or ``None``; rebound via
+#: :func:`repro.obs.on_profiler_change` so :meth:`Mempool.admit` can
+#: attribute admission wall time to a nested ``mempool`` phase.  The off
+#: path costs one global load and branch per call.
+_PHASES = None
+
+
+def _rebind_profiler(profiler) -> None:
+    """Hook for :func:`repro.obs.on_profiler_change`."""
+    global _PHASES
+    _PHASES = profiler if profiler is not None and profiler.enabled else None
+
+
+obs.on_profiler_change(_rebind_profiler)
 
 
 @dataclass(frozen=True)
@@ -212,38 +228,45 @@ class Mempool:
         limiter (a network peer id, or the sender key for local
         submissions); ``None`` skips the limiter stage.
         """
-        if not prevalidate(tx):
-            return self._reject(R_INVALID)
-        if peer is not None and not self.limiter.allow(peer, now):
-            return self._reject(R_RATE_LIMITED)
-        if not self.fee_market.meets_floor(tx, now):
-            return self._reject(R_UNDERPRICED)
-        if tx.sketch_id in self._entries:
-            return self._reject(R_DUPLICATE)
+        profiler = _PHASES
+        if profiler is not None:
+            profiler.enter("mempool")
+        try:
+            if not prevalidate(tx):
+                return self._reject(R_INVALID)
+            if peer is not None and not self.limiter.allow(peer, now):
+                return self._reject(R_RATE_LIMITED)
+            if not self.fee_market.meets_floor(tx, now):
+                return self._reject(R_UNDERPRICED)
+            if tx.sketch_id in self._entries:
+                return self._reject(R_DUPLICATE)
 
-        sender = tx.sender.raw
-        next_nonce = self._next_nonce.get(sender)
-        existing_id = self._queues.get(sender, {}).get(tx.nonce)
-        if existing_id is not None:
-            return self._replace(existing_id, tx, now)
+            sender = tx.sender.raw
+            next_nonce = self._next_nonce.get(sender)
+            existing_id = self._queues.get(sender, {}).get(tx.nonce)
+            if existing_id is not None:
+                return self._replace(existing_id, tx, now)
 
-        if next_nonce is None:
-            next_nonce = tx.nonce  # lazy init: first sighting anchors
-        elif tx.nonce < next_nonce:
-            return self._reject(R_STALE_NONCE)
-        if tx.nonce > next_nonce + self.config.max_nonce_gap:
-            return self._reject(R_NONCE_GAP)
+            if next_nonce is None:
+                next_nonce = tx.nonce  # lazy init: first sighting anchors
+            elif tx.nonce < next_nonce:
+                return self._reject(R_STALE_NONCE)
+            if tx.nonce > next_nonce + self.config.max_nonce_gap:
+                return self._reject(R_NONCE_GAP)
 
-        priority = effective_priority(tx.fee, tx.size_bytes)
-        plan = self.evictor.make_room_for(priority, tx.size_bytes)
-        if plan is None:
-            return self._reject(R_POOL_FULL)
-        self._apply_evictions(plan, now)
+            priority = effective_priority(tx.fee, tx.size_bytes)
+            plan = self.evictor.make_room_for(priority, tx.size_bytes)
+            if plan is None:
+                return self._reject(R_POOL_FULL)
+            self._apply_evictions(plan, now)
 
-        self._next_nonce.setdefault(sender, tx.nonce)
-        self._insert(tx, priority, now, head=tx.nonce == next_nonce)
-        self.counters[ACCEPTED] += 1
-        return AdmissionResult(True, ACCEPTED)
+            self._next_nonce.setdefault(sender, tx.nonce)
+            self._insert(tx, priority, now, head=tx.nonce == next_nonce)
+            self.counters[ACCEPTED] += 1
+            return AdmissionResult(True, ACCEPTED)
+        finally:
+            if profiler is not None:
+                profiler.exit()
 
     def _replace(self, old_id: int, tx: Transaction,
                  now: float) -> AdmissionResult:

@@ -27,8 +27,18 @@ from repro.obs.export import (
     trace_lines,
     write_jsonl,
 )
+from repro.obs.live import TelemetrySink, read_telemetry
+from repro.obs.phases import PhaseProfiler, classify_callback
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.schema import validate_trace_file, validate_trace_lines
+from repro.obs.steady import SteadyStateMonitor, window_is_steady
+from repro.obs.timeline import (
+    TIMELINE_SCHEMA,
+    TimelineRecorder,
+    TimelineSeries,
+    load_timeline,
+    validate_timeline_lines,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -40,6 +50,16 @@ from repro.obs.tracer import (
 #: The process-wide tracer. Instrumented code reads ``obs.TRACER`` on each
 #: use (module attribute lookup stays current after ``set_tracer``).
 TRACER = NULL_TRACER
+
+#: The process-wide timeline recorder (``None`` when no timeline is
+#: installed).  Like the tracer it is installed with ``set_timeline`` /
+#: ``use_timeline``; the harness samples it on its telemetry tick.
+TIMELINE = None
+
+#: The process-wide phase profiler (``None`` when profiling is off).
+#: Profiled modules hold a module-level ``_PHASES`` guard rebound via
+#: :func:`on_profiler_change`, mirroring the tracer's ``_TRACE`` guard.
+PROFILER = None
 
 #: Callbacks invoked with the new tracer on every :func:`set_tracer`.
 #: Hot-path modules use this to rebind a module-level guard once per
@@ -99,6 +119,99 @@ def use_tracer(tracer):
         set_tracer(previous)
 
 
+# ------------------------------------------------------------- timeline
+
+#: Callbacks invoked with the new timeline on every :func:`set_timeline`.
+_TIMELINE_HOOKS = []
+
+
+def get_timeline():
+    """The installed timeline recorder, or ``None``."""
+    return TIMELINE
+
+
+def on_timeline_change(hook) -> None:
+    """Register ``hook(timeline)`` to run on every :func:`set_timeline`.
+
+    Invoked immediately with the current timeline, exactly like
+    :func:`on_tracer_change`, so modules can keep a module-level guard
+    that is ``None`` whenever no timeline is installed.
+    """
+    _TIMELINE_HOOKS.append(hook)
+    hook(TIMELINE)
+
+
+def set_timeline(timeline) -> None:
+    """Install a timeline recorder process-wide (``None`` to disable)."""
+    global TIMELINE
+    TIMELINE = timeline
+    for hook in _TIMELINE_HOOKS:
+        hook(timeline)
+
+
+def clear_timeline() -> None:
+    """Remove any installed timeline recorder."""
+    set_timeline(None)
+
+
+@contextmanager
+def use_timeline(timeline):
+    """Install a timeline for a ``with`` block, restoring the previous one."""
+    previous = TIMELINE
+    set_timeline(timeline)
+    try:
+        yield timeline
+    finally:
+        set_timeline(previous)
+
+
+# ------------------------------------------------------------- profiler
+
+#: Callbacks invoked with the new profiler on every :func:`set_profiler`.
+#: The event loop and the nested crypto/mempool sites rebind their
+#: module-level ``_PHASES`` guards through this, keeping the off path at
+#: one global load plus one branch per site.
+_PROFILER_HOOKS = []
+
+
+def get_profiler():
+    """The installed phase profiler, or ``None``."""
+    return PROFILER
+
+
+def on_profiler_change(hook) -> None:
+    """Register ``hook(profiler)`` to run on every :func:`set_profiler`.
+
+    Invoked immediately with the current profiler (``None`` by default).
+    """
+    _PROFILER_HOOKS.append(hook)
+    hook(PROFILER)
+
+
+def set_profiler(profiler) -> None:
+    """Install a phase profiler process-wide (``None`` to disable)."""
+    global PROFILER
+    PROFILER = profiler
+    for hook in _PROFILER_HOOKS:
+        hook(profiler)
+
+
+def clear_profiler() -> None:
+    """Remove any installed phase profiler."""
+    set_profiler(None)
+
+
+@contextmanager
+def use_profiler(profiler):
+    """Install a profiler for a ``with`` block, restoring the previous one."""
+    previous = PROFILER
+    set_profiler(profiler)
+    try:
+        yield profiler
+    finally:
+        set_profiler(previous)
+
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -106,20 +219,43 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "PROFILER",
+    "PhaseProfiler",
     "Span",
+    "SteadyStateMonitor",
+    "TIMELINE",
+    "TIMELINE_SCHEMA",
     "TRACER",
     "TRACE_SCHEMA",
+    "TelemetrySink",
+    "TimelineRecorder",
+    "TimelineSeries",
     "Tracer",
     "chrome_trace",
+    "classify_callback",
+    "clear_profiler",
+    "clear_timeline",
     "clear_tracer",
     "export_chrome",
     "export_jsonl",
+    "get_profiler",
+    "get_timeline",
     "get_tracer",
+    "load_timeline",
+    "on_profiler_change",
+    "on_timeline_change",
     "on_tracer_change",
+    "read_telemetry",
+    "set_profiler",
+    "set_timeline",
     "set_tracer",
     "trace_lines",
+    "use_profiler",
+    "use_timeline",
     "use_tracer",
+    "validate_timeline_lines",
     "validate_trace_file",
     "validate_trace_lines",
+    "window_is_steady",
     "write_jsonl",
 ]

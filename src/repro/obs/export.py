@@ -27,18 +27,29 @@ def _dumps(obj: Any) -> str:
                       allow_nan=False)
 
 
-def trace_lines(tracer: Tracer, meta: Optional[Dict[str, Any]] = None) -> List[str]:
-    """The JSONL export as a list of lines (header first, no newlines)."""
+def trace_lines(tracer: Tracer, meta: Optional[Dict[str, Any]] = None,
+                timeline=None) -> List[str]:
+    """The JSONL export as a list of lines (header first, no newlines).
+
+    ``timeline`` may be a :class:`repro.obs.timeline.TimelineRecorder`;
+    its series are appended as ``timeline`` records after the tracer's
+    emission-ordered stream (they summarise the whole run, so they have
+    no single emission point).
+    """
     header = {"schema": TRACE_SCHEMA, "meta": meta or {}}
     lines = [_dumps(header)]
     lines.extend(_dumps(record) for record in tracer.records)
+    if timeline is not None:
+        lines.extend(_dumps(record)
+                     for record in timeline.timeline_records())
     return lines
 
 
 def write_jsonl(tracer: Tracer, stream: IO[str],
-                meta: Optional[Dict[str, Any]] = None) -> int:
+                meta: Optional[Dict[str, Any]] = None,
+                timeline=None) -> int:
     """Write the JSONL export; returns the number of records written."""
-    lines = trace_lines(tracer, meta)
+    lines = trace_lines(tracer, meta, timeline=timeline)
     for line in lines:
         stream.write(line)
         stream.write("\n")
@@ -46,18 +57,25 @@ def write_jsonl(tracer: Tracer, stream: IO[str],
 
 
 def export_jsonl(tracer: Tracer, path: str,
-                 meta: Optional[Dict[str, Any]] = None) -> int:
+                 meta: Optional[Dict[str, Any]] = None,
+                 timeline=None) -> int:
     """Write the JSONL export to ``path``; returns the record count."""
     with open(path, "w", encoding="utf-8", newline="\n") as stream:
-        return write_jsonl(tracer, stream, meta)
+        return write_jsonl(tracer, stream, meta, timeline=timeline)
 
 
 # ---------------------------------------------------------------- chrome
 
 
 def chrome_trace(tracer: Tracer,
-                 meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-    """The Chrome trace-event object (``{"traceEvents": [...]}``)."""
+                 meta: Optional[Dict[str, Any]] = None,
+                 timeline=None) -> Dict[str, Any]:
+    """The Chrome trace-event object (``{"traceEvents": [...]}``).
+
+    A ``timeline`` recorder adds one counter ("C") track per series --
+    each decimated bin becomes a counter sample, so Perfetto charts the
+    whole soak run at O(bins) points per series.
+    """
     trace_events: List[Dict[str, Any]] = []
     for record in tracer.records:
         kind = record["type"]
@@ -96,6 +114,17 @@ def chrome_trace(tracer: Tracer,
                     "pid": 0,
                     "args": args,
                 })
+    if timeline is not None:
+        for record in timeline.timeline_records():
+            name = f"timeline.{record['name']}"
+            for t, value in record["points"]:
+                trace_events.append({
+                    "name": name,
+                    "ph": "C",
+                    "ts": t * 1e6,
+                    "pid": 0,
+                    "args": {record["kind"]: value},
+                })
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
@@ -104,9 +133,10 @@ def chrome_trace(tracer: Tracer,
 
 
 def export_chrome(tracer: Tracer, path: str,
-                  meta: Optional[Dict[str, Any]] = None) -> int:
+                  meta: Optional[Dict[str, Any]] = None,
+                  timeline=None) -> int:
     """Write the Chrome trace JSON to ``path``; returns the event count."""
-    payload = chrome_trace(tracer, meta)
+    payload = chrome_trace(tracer, meta, timeline=timeline)
     with open(path, "w", encoding="utf-8", newline="\n") as stream:
         stream.write(_dumps(payload))
         stream.write("\n")

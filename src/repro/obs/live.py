@@ -1,0 +1,177 @@
+"""Live monitoring: atomic telemetry flushes and the ``watch`` verb's data.
+
+A long soak run is useless if the only way to see progress is to wait
+for it.  :class:`TelemetrySink` publishes a small ``telemetry.json``
+status document via the same temp-file + ``os.replace`` idiom the spool
+backend uses, so readers never observe a torn write; the simulation
+harness flushes it from its timeline sampling tick, throttled on the
+*wall* clock so a fast simulation doesn't spend its time serialising
+JSON.  The wall clock never leaks into deterministic artifacts -- the
+status file is monitoring exhaust, not an experiment output.
+
+``python -m repro watch TARGET`` tails either:
+
+* a telemetry directory/file written by ``run --telemetry-dir`` (sim
+  progress, event rates, steady-state verdicts), or
+* a spool directory from ``sweep --spool`` (completed / parked / leased
+  task counts straight from :func:`repro.exec.spool.spool_status`),
+
+without disturbing the writer: readers only ever open published files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Name of the status document inside a telemetry directory.
+TELEMETRY_FILE = "telemetry.json"
+
+#: Schema tag of the status document.
+TELEMETRY_SCHEMA = "repro.telemetry/1"
+
+
+def write_atomic_json(path: str, payload: Dict[str, Any]) -> None:
+    """Publish ``payload`` at ``path`` via temp-file + ``os.replace``."""
+    tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+    with open(tmp, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    os.replace(tmp, path)
+
+
+class TelemetrySink:
+    """Periodically publishes a run-status document into a directory.
+
+    ``flush_wall_s`` throttles :meth:`maybe_flush` on the wall clock;
+    :meth:`flush` always writes (used for the first and final segments).
+    ``clock`` is injectable for tests.
+    """
+
+    def __init__(self, directory: str, flush_wall_s: float = 1.0,
+                 clock: Optional[Callable[[], float]] = None):
+        if flush_wall_s <= 0:
+            raise ValueError(f"flush_wall_s must be > 0, got {flush_wall_s}")
+        self.directory = directory
+        self.flush_wall_s = flush_wall_s
+        self.path = os.path.join(directory, TELEMETRY_FILE)
+        self._clock = clock or time.monotonic
+        self._last_flush: Optional[float] = None
+        self.flushes = 0
+        os.makedirs(directory, exist_ok=True)
+
+    def flush(self, payload: Dict[str, Any]) -> None:
+        """Publish ``payload`` unconditionally (atomic replace)."""
+        document = {"schema": TELEMETRY_SCHEMA, "updated_unix": time.time()}
+        document.update(payload)
+        write_atomic_json(self.path, document)
+        self._last_flush = self._clock()
+        self.flushes += 1
+
+    def maybe_flush(self, payload_fn: Callable[[], Dict[str, Any]]) -> bool:
+        """Publish if the wall-clock throttle allows; returns whether it did.
+
+        ``payload_fn`` is only invoked when a flush actually happens, so
+        building the status document costs nothing between flushes.
+        """
+        now = self._clock()
+        if self._last_flush is not None \
+                and now - self._last_flush < self.flush_wall_s:
+            return False
+        self.flush(payload_fn())
+        return True
+
+
+# ------------------------------------------------------------------ reading
+
+
+def read_telemetry(target: str) -> Optional[Dict[str, Any]]:
+    """Load a telemetry document from a file or directory.
+
+    Returns ``None`` when the document is absent or mid-replace (a reader
+    racing a writer on a non-atomic filesystem retries on its next poll).
+    """
+    path = target
+    if os.path.isdir(target):
+        path = os.path.join(target, TELEMETRY_FILE)
+    try:
+        with open(path, encoding="utf-8") as stream:
+            return json.load(stream)
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError):
+        return None
+
+
+def detect_watch_target(target: str) -> str:
+    """Classify a ``watch`` target: ``"spool"``, ``"telemetry"`` or ``""``.
+
+    A directory with a spool ``manifest.json`` is a sweep spool; a
+    directory containing (or a path naming) ``telemetry.json`` is a
+    telemetry target.  Empty string means neither was found.
+    """
+    if os.path.isdir(target):
+        if os.path.exists(os.path.join(target, "manifest.json")):
+            return "spool"
+        if os.path.exists(os.path.join(target, TELEMETRY_FILE)):
+            return "telemetry"
+        return ""
+    if os.path.basename(target) == TELEMETRY_FILE and os.path.exists(target):
+        return "telemetry"
+    return ""
+
+
+def telemetry_rows(doc: Dict[str, Any]) -> List[Tuple[str, Any]]:
+    """``(field, value)`` table rows for one telemetry snapshot."""
+    rows: List[Tuple[str, Any]] = []
+    t = doc.get("t")
+    horizon = doc.get("horizon")
+    if t is not None:
+        progress = ""
+        if horizon:
+            progress = f"  ({min(1.0, t / horizon):.0%} of horizon)"
+        rows.append(("sim time (s)", f"{t:.2f}{progress}"))
+    if doc.get("events_processed") is not None:
+        rows.append(("events processed", doc["events_processed"]))
+    if doc.get("events_per_wall_s") is not None:
+        rows.append(("events/sec (wall)", f"{doc['events_per_wall_s']:.0f}"))
+    steady = doc.get("steady")
+    if steady is not None:
+        rows.append(("steady", "yes" if steady.get("steady") else "not yet"))
+        for name, verdict in sorted(steady.get("series", {}).items()):
+            state = "steady" if verdict.get("steady") else (
+                "drifting" if verdict.get("eligible") else "warming up")
+            rows.append((f"  {name}", state))
+    for name, value in sorted(doc.get("series_last", {}).items()):
+        rows.append((f"last {name}", f"{value:g}"))
+    rows.append(("done", "yes" if doc.get("done") else "running"))
+    return rows
+
+
+def spool_watch_rows(status: Dict[str, int]) -> List[Tuple[str, Any]]:
+    """``(field, value)`` table rows for one spool progress scan."""
+    total = status.get("tasks_total", 0) or 0
+    completed = status.get("completed", 0)
+    fraction = f"  ({completed / total:.0%})" if total else ""
+    return [
+        ("tasks total", total),
+        ("completed", f"{completed}{fraction}"),
+        ("pending", status.get("pending", 0)),
+        ("leased (running)", status.get("leased", 0)),
+        ("parked (gave up)", status.get("parked", 0)),
+        ("attempts", status.get("attempts", 0)),
+        ("lease reclaims", status.get("reclaims", 0)),
+    ]
+
+
+def spool_is_finished(status: Dict[str, int]) -> bool:
+    """Whether every spool task is either completed or parked."""
+    return status.get("pending", 1) <= 0 and status.get("leased", 1) <= 0
+
+
+def telemetry_is_finished(doc: Dict[str, Any]) -> bool:
+    """Whether the writing run has published its final segment."""
+    return bool(doc.get("done"))

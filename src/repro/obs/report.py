@@ -188,3 +188,67 @@ def cache_rows(metrics: Dict[str, Any]) -> List[Tuple[str, Any]]:
         (name, value) for name, value in counters.items()
         if name.startswith("caches.")
     )
+
+
+# -------------------------------------------------------------- timelines
+
+#: Eight-level block characters used by :func:`sparkline`.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: List[float], width: int = 32) -> str:
+    """Render ``values`` as a fixed-width unicode sparkline.
+
+    Longer series are downsampled by averaging consecutive chunks so the
+    overall shape survives; a flat series renders as a flat baseline.
+
+    >>> sparkline([0.0, 1.0, 2.0, 3.0], width=4)
+    '▁▃▅█'
+    """
+    if not values:
+        return ""
+    if len(values) > width:
+        chunked = []
+        for i in range(width):
+            lo = i * len(values) // width
+            hi = max(lo + 1, (i + 1) * len(values) // width)
+            chunk = values[lo:hi]
+            chunked.append(sum(chunk) / len(chunk))
+        values = chunked
+    low, high = min(values), max(values)
+    span = high - low
+    if span <= 0:
+        return SPARK_CHARS[0] * len(values)
+    top = len(SPARK_CHARS) - 1
+    return "".join(
+        SPARK_CHARS[int((value - low) / span * top)] for value in values
+    )
+
+
+def timeline_rows(
+    records: List[Dict[str, Any]], width: int = 32
+) -> List[Tuple[Any, ...]]:
+    """Sparkline table rows for ``timeline`` records.
+
+    One row per series: ``(name, kind, bins, bin_s, total_or_last,
+    spark)`` where the fifth column is the conserved total for counters
+    and the final value for gauges.
+    """
+    rows: List[Tuple[Any, ...]] = []
+    for record in sorted(records, key=lambda r: r.get("name", "")):
+        if record.get("type") != "timeline":
+            continue
+        values = [value for _t, value in record.get("points", [])]
+        if record.get("kind") == "counter":
+            summary = round(sum(values), 6)
+        else:
+            summary = round(values[-1], 6) if values else None
+        rows.append((
+            record.get("name"),
+            record.get("kind"),
+            len(values),
+            record.get("bin_s"),
+            summary,
+            sparkline(values, width=width),
+        ))
+    return rows

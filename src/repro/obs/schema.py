@@ -16,6 +16,9 @@ Schema (one JSON object per line):
   "attrs": {...}}``
 * ``{"type": "metrics", "t": float, "counters": {str: number},
   "gauges": {str: number}, "histograms": {str: {...}}}``
+* ``{"type": "timeline", "name": str, "kind": "counter"|"gauge",
+  "bin_s": float > 0, "points": [[t, v], ...]}`` -- one fixed-memory
+  series from :mod:`repro.obs.timeline`, timestamps strictly increasing.
 """
 
 from __future__ import annotations
@@ -23,9 +26,10 @@ from __future__ import annotations
 import json
 from typing import Any, Iterable, List
 
+from repro.obs.timeline import check_timeline_record
 from repro.obs.tracer import TRACE_SCHEMA
 
-_RECORD_TYPES = ("event", "span", "metrics")
+_RECORD_TYPES = ("event", "span", "metrics", "timeline")
 
 
 def _is_num(value: Any) -> bool:
@@ -115,6 +119,8 @@ def validate_trace_lines(lines: Iterable[str]) -> List[str]:
             _check_span(record, where, errors)
         elif kind == "metrics":
             _check_metrics(record, where, errors)
+        elif kind == "timeline":
+            check_timeline_record(record, where, errors)
         else:
             errors.append(
                 f"{where}: unknown record type {kind!r}"

@@ -33,9 +33,26 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional
 
+from repro import obs
+
 #: Heap entry layout: ``[time, seq, callback, args]``.  ``callback`` is
 #: ``None`` for a cancelled (tombstoned) entry.
 _TIME, _SEQ, _CALLBACK, _ARGS = 0, 1, 2, 3
+
+#: The installed :class:`repro.obs.PhaseProfiler`, or ``None`` when phase
+#: profiling is off.  Rebound by :func:`repro.obs.on_profiler_change`
+#: (the same mechanism as the network's ``_TRACE`` guard); ``run_until``
+#: reads it once per call, so the unprofiled hot loop is untouched.
+_PHASES = None
+
+
+def _rebind_profiler(profiler) -> None:
+    """Hook for :func:`repro.obs.on_profiler_change`."""
+    global _PHASES
+    _PHASES = profiler if profiler is not None and profiler.enabled else None
+
+
+obs.on_profiler_change(_rebind_profiler)
 
 
 class SimulationError(RuntimeError):
@@ -220,6 +237,11 @@ class EventLoop:
         The deadline is inclusive: events scheduled exactly at the deadline
         run.  Events scheduled by callbacks during the run are honoured if
         they also fall within the deadline.
+
+        When a phase profiler is installed (``_PHASES``), every callback
+        runs inside an enter/exit pair attributing its wall time to a
+        phase; the guard is read once per call, so with profiling off the
+        dispatch loop is byte-for-byte the unprofiled one.
         """
         if deadline < self._now:
             raise SimulationError(
@@ -228,16 +250,35 @@ class EventLoop:
         self._running = True
         heap = self._heap  # identity survives compaction (see above)
         pop = heapq.heappop
+        profiler = _PHASES
         try:
-            while heap and heap[0][0] <= deadline:
-                entry = pop(heap)
-                callback = entry[_CALLBACK]
-                if callback is None:
-                    self._cancelled -= 1
-                    continue
-                self._now = entry[_TIME]
-                self._processed += 1
-                callback(*entry[_ARGS])
+            if profiler is None:
+                while heap and heap[0][0] <= deadline:
+                    entry = pop(heap)
+                    callback = entry[_CALLBACK]
+                    if callback is None:
+                        self._cancelled -= 1
+                        continue
+                    self._now = entry[_TIME]
+                    self._processed += 1
+                    callback(*entry[_ARGS])
+            else:
+                classify = profiler.classify
+                enter = profiler.enter
+                leave = profiler.exit
+                while heap and heap[0][0] <= deadline:
+                    entry = pop(heap)
+                    callback = entry[_CALLBACK]
+                    if callback is None:
+                        self._cancelled -= 1
+                        continue
+                    self._now = entry[_TIME]
+                    self._processed += 1
+                    enter(classify(callback))
+                    try:
+                        callback(*entry[_ARGS])
+                    finally:
+                        leave()
             self._now = deadline
         finally:
             self._running = False

@@ -84,7 +84,8 @@ def test_run_suites_rejects_unknown_suite(tmp_path):
 
 
 def test_suite_registry_is_complete():
-    assert set(SUITES) == {"sketch", "reconcile", "harness", "mempool"}
+    assert set(SUITES) == {"sketch", "reconcile", "harness", "mempool",
+                       "obs"}
 
 
 @pytest.mark.slow
@@ -95,7 +96,7 @@ def test_bench_cli_quick_emits_valid_files(tmp_path, capsys):
     assert "suite: sketch" in out
     assert "suite: reconcile" in out
     assert "suite: harness" in out
-    for suite in ("sketch", "reconcile", "harness", "mempool"):
+    for suite in ("sketch", "reconcile", "harness", "mempool", "obs"):
         path = tmp_path / f"BENCH_{suite}.json"
         assert path.exists()
         _check_schema(json.loads(path.read_text()), suite)

@@ -66,6 +66,41 @@ def test_fast_and_slow_send_paths_are_byte_identical():
     assert fast_trace == slow_trace  # line-for-line identical export
 
 
+def test_telemetry_guards_rebind_and_default_to_none():
+    """Every profiled module keeps a ``_PHASES`` guard that is ``None``
+    while no profiler is installed (the zero-cost-when-off contract, the
+    same mechanism as the network's ``_TRACE`` tracer guard) and rebinds
+    to the live profiler inside ``use_profiler``."""
+    import repro.crypto.keys as keys
+    import repro.mempool.admission as admission
+    import repro.sim.loop as loop
+
+    for module in (loop, keys, admission):
+        assert module._PHASES is None, module.__name__
+    profiler = obs.PhaseProfiler()
+    with obs.use_profiler(profiler):
+        for module in (loop, keys, admission):
+            assert module._PHASES is profiler, module.__name__
+    for module in (loop, keys, admission):
+        assert module._PHASES is None, module.__name__
+
+
+def test_profiled_run_is_byte_identical_to_unprofiled():
+    """The phase profiler reads the wall clock but must never leak into
+    deterministic artifacts: a profiled run's trace export and summary
+    are line-for-line identical to an unprofiled run's."""
+    plain_summary, plain_trace = _traced_run(force_slow_path=False)
+    profiler = obs.PhaseProfiler()
+    with obs.use_profiler(profiler):
+        profiled_summary, profiled_trace = _traced_run(force_slow_path=False)
+    assert json.dumps(plain_summary, sort_keys=True) == \
+        json.dumps(profiled_summary, sort_keys=True)
+    assert plain_trace == profiled_trace
+    # ...while the profiler itself did observe the run
+    assert profiler.self_s
+    assert sum(profiler.calls.values()) > 0
+
+
 def test_fast_path_reenables_after_faults_clear():
     sim = LOSimulation(SimulationParams(num_nodes=4, seed=7,
                                         config=LOConfig()))

@@ -1,0 +1,190 @@
+"""Live telemetry sink + ``watch`` verb tests (injected clocks, tmp dirs).
+
+The sink's contract: readers never observe a torn document (atomic
+replace), flushes are wall-clock throttled, and ``python -m repro watch``
+renders either a telemetry directory or a sweep spool without disturbing
+the writer.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.obs.live import (
+    TELEMETRY_FILE,
+    TELEMETRY_SCHEMA,
+    TelemetrySink,
+    detect_watch_target,
+    read_telemetry,
+    spool_is_finished,
+    spool_watch_rows,
+    telemetry_is_finished,
+    telemetry_rows,
+    write_atomic_json,
+)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        """Move time forward by ``dt`` seconds."""
+        self.now += dt
+
+
+# -------------------------------------------------------------------- sink
+
+
+def test_write_atomic_json_leaves_no_temp_files(tmp_path):
+    path = tmp_path / "doc.json"
+    write_atomic_json(str(path), {"a": 1})
+    assert json.loads(path.read_text()) == {"a": 1}
+    assert os.listdir(tmp_path) == ["doc.json"]  # temp file replaced away
+
+
+def test_sink_flush_publishes_schema_tagged_document(tmp_path):
+    sink = TelemetrySink(str(tmp_path))
+    sink.flush({"t": 4.0})
+    doc = read_telemetry(str(tmp_path))
+    assert doc["schema"] == TELEMETRY_SCHEMA
+    assert doc["t"] == 4.0
+    assert doc["updated_unix"] > 0
+    assert sink.flushes == 1
+
+
+def test_sink_maybe_flush_throttles_on_wall_clock(tmp_path):
+    clock = FakeClock()
+    sink = TelemetrySink(str(tmp_path), flush_wall_s=1.0, clock=clock)
+    built = []
+
+    def payload():
+        built.append(True)
+        return {"t": clock.now}
+
+    assert sink.maybe_flush(payload)        # first flush always happens
+    assert not sink.maybe_flush(payload)    # throttled
+    clock.advance(0.5)
+    assert not sink.maybe_flush(payload)
+    clock.advance(0.6)
+    assert sink.maybe_flush(payload)
+    assert sink.flushes == 2
+    assert len(built) == 2  # payload_fn not invoked on throttled calls
+
+
+def test_sink_validation(tmp_path):
+    with pytest.raises(ValueError):
+        TelemetrySink(str(tmp_path), flush_wall_s=0.0)
+
+
+# ----------------------------------------------------------------- reading
+
+
+def test_read_telemetry_absent_and_garbled(tmp_path):
+    assert read_telemetry(str(tmp_path)) is None
+    garbled = tmp_path / TELEMETRY_FILE
+    garbled.write_text("{not json", encoding="utf-8")
+    assert read_telemetry(str(tmp_path)) is None  # mid-replace torn read
+
+
+def test_detect_watch_target(tmp_path):
+    assert detect_watch_target(str(tmp_path)) == ""
+    spool = tmp_path / "spool"
+    spool.mkdir()
+    (spool / "manifest.json").write_text("{}")
+    assert detect_watch_target(str(spool)) == "spool"
+    tele = tmp_path / "tele"
+    TelemetrySink(str(tele)).flush({"t": 0.0})
+    assert detect_watch_target(str(tele)) == "telemetry"
+    assert detect_watch_target(str(tele / TELEMETRY_FILE)) == "telemetry"
+    assert detect_watch_target(str(tmp_path / "nope")) == ""
+
+
+def test_telemetry_rows_and_finished():
+    doc = {
+        "t": 40.0, "horizon": 80.0, "events_processed": 1234,
+        "events_per_wall_s": 5000.0, "done": False,
+        "steady": {"steady": False,
+                   "series": {"g": {"eligible": True, "steady": False}}},
+        "series_last": {"g": 5.5},
+    }
+    rows = dict(telemetry_rows(doc))
+    assert rows["sim time (s)"] == "40.00  (50% of horizon)"
+    assert rows["events processed"] == 1234
+    assert rows["steady"] == "not yet"
+    assert rows["  g"] == "drifting"
+    assert rows["last g"] == "5.5"
+    assert rows["done"] == "running"
+    assert not telemetry_is_finished(doc)
+    assert telemetry_is_finished({"done": True})
+
+
+def test_spool_rows_and_finished():
+    status = {"tasks_total": 8, "completed": 8, "pending": 0, "leased": 0,
+              "parked": 0, "attempts": 9, "reclaims": 1}
+    rows = dict(spool_watch_rows(status))
+    assert rows["completed"] == "8  (100%)"
+    assert spool_is_finished(status)
+    assert not spool_is_finished({"pending": 2, "leased": 0})
+    assert not spool_is_finished({"pending": 0, "leased": 1})
+
+
+# ----------------------------------------------------------------- watch verb
+
+
+def test_watch_once_on_telemetry_dir(tmp_path, capsys):
+    sink = TelemetrySink(str(tmp_path))
+    sink.flush({"t": 12.0, "horizon": 24.0, "events_processed": 99,
+                "done": False})
+    code = main(["watch", str(tmp_path), "--once"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "watch telemetry" in out
+    assert "12.00" in out
+    assert "99" in out
+
+
+def test_watch_once_on_spool_dir(tmp_path, capsys):
+    # a real (tiny) spool, produced by the sweep CLI itself
+    spool = tmp_path / "spool"
+    code = main([
+        "sweep", "run", "--param", "num_nodes=6", "--param", "rate_per_s=2.0",
+        "--param", "duration_s=1.0", "--param", "drain_s=1.0",
+        "--repetitions", "1", "--workers", "1", "--spool", str(spool),
+    ])
+    assert code == 0
+    capsys.readouterr()
+    code = main(["watch", str(spool), "--once"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "watch spool" in out
+    assert "completed" in out
+
+
+def test_watch_once_unknown_target_fails(tmp_path, capsys):
+    code = main(["watch", str(tmp_path / "missing"), "--once"])
+    assert code == 2
+    assert "no telemetry.json or spool manifest.json" in \
+        capsys.readouterr().err
+
+
+def test_run_telemetry_dir_end_to_end(tmp_path, capsys):
+    """``run --telemetry-dir`` publishes a final done=True document that
+    ``watch --once`` then renders."""
+    code = main(["run", "--nodes", "6", "--rate", "3", "--duration", "3",
+                 "--drain", "2", "--telemetry-dir", str(tmp_path)])
+    assert code == 0
+    doc = read_telemetry(str(tmp_path))
+    assert doc["done"] is True
+    assert doc["events_processed"] > 0
+    assert telemetry_is_finished(doc)
+    capsys.readouterr()
+    assert main(["watch", str(tmp_path), "--once"]) == 0
+    assert "yes" in capsys.readouterr().out  # the done row

@@ -197,3 +197,36 @@ def test_main_cli_roundtrip(tmp_path, capsys):
                        "--suites", "sketch"])
     assert code == 1
     assert "regressed beyond" in capsys.readouterr().err
+
+
+def _obs_payload(off_ops=20000.0, params=None):
+    return {
+        "schema": "repro.bench/1",
+        "params": params or {"quick": False},
+        "derived": {"telemetry_off_events_per_second": off_ops},
+        "results": [
+            {"name": "sim/run/telemetry=off", "ops_per_second": off_ops},
+            {"name": "sim/run/telemetry=trace",
+             "ops_per_second": off_ops * 0.8},
+            {"name": "tracer/message_event",       # micro case: not watched
+             "ops_per_second": 1e6},
+        ],
+    }
+
+
+def test_obs_suite_is_watched_by_default():
+    assert "obs" in trend.DEFAULT_SUITES
+    metrics = trend.watched_metrics("obs", _obs_payload(off_ops=20000.0))
+    assert metrics["derived.telemetry_off_events_per_second"] == 20000.0
+    assert metrics["result.sim/run/telemetry=off.ops_per_second"] == 20000.0
+    assert metrics["result.sim/run/telemetry=trace.ops_per_second"] == 16000.0
+    assert not any("message_event" in name for name in metrics)
+
+
+def test_obs_off_path_regression_fails(tmp_path):
+    """Overhead leaking into the telemetry-off path trips the gate."""
+    _write(tmp_path / "base", "obs", _obs_payload(off_ops=20000.0))
+    _write(tmp_path / "fresh", "obs", _obs_payload(off_ops=10000.0))
+    code = trend.check_dirs(str(tmp_path / "base"), str(tmp_path / "fresh"),
+                            ["obs"], threshold=0.20, out=io.StringIO())
+    assert code == 1

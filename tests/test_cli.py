@@ -171,3 +171,76 @@ def test_cpu_accepts_differences_sweep(tmp_path, capsys):
     assert "speedup" in capsys.readouterr().out
     payload = json.loads(out_file.read_text())
     assert [p["difference"] for p in payload["result"]["points"]] == [8, 16]
+
+
+def _cold_caches():
+    """Blank the process-global sketch caches (fresh-process state).
+
+    The timeline samples the cache hit/miss counters, so back-to-back
+    in-process CLI runs must start them cold for byte-identity; separate
+    processes -- the real CLI usage -- start cold anyway.
+    """
+    from repro.metrics.caches import reset_cache_stats
+    from repro.sketch.pinsketch import clear_decode_cache, \
+        clear_syndrome_cache
+
+    clear_decode_cache()
+    clear_syndrome_cache()
+    reset_cache_stats()
+
+
+def test_run_timeline_exports_are_deterministic(tmp_path, capsys):
+    """Two same-seed ``run --timeline`` invocations write byte-identical
+    repro.timeline/1 files (the ISSUE 9 acceptance check, at CLI level)."""
+    run_args = ["run", "--nodes", "6", "--rate", "3", "--duration", "3",
+                "--drain", "2", "--seed", "5"]
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    _cold_caches()
+    assert main(run_args + ["--timeline", str(a),
+                            "--timeline-csv", str(tmp_path / "a.csv")]) == 0
+    _cold_caches()
+    assert main(run_args + ["--timeline", str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "timeline written" in out
+    assert a.read_bytes() == b.read_bytes()
+    assert (tmp_path / "a.csv").read_text().startswith(
+        "series,kind,bin_s,t,value")
+
+
+def test_run_until_steady_stops_early_and_reports(tmp_path, capsys):
+    out_file = tmp_path / "run.json"
+    code = main(["run", "--nodes", "8", "--rate", "6", "--duration", "60",
+                 "--drain", "20", "--admission", "--seed", "7",
+                 "--until-steady", "--json", str(out_file)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "steady" in out
+    steady = json.loads(out_file.read_text())["result"]["steady"]
+    assert steady["steady"] is True
+    assert steady["t"] < steady["horizon"]
+
+
+def test_run_phases_prints_profile_table(tmp_path, capsys):
+    out_file = tmp_path / "run.json"
+    code = main(["run", "--nodes", "6", "--rate", "3", "--duration", "3",
+                 "--drain", "2", "--phases", "--json", str(out_file)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "phase" in out and "self_s" in out
+    phases = json.loads(out_file.read_text())["result"]["phases"]
+    assert "net" in phases
+    assert all(entry["self_s"] >= 0.0 for entry in phases.values())
+
+
+def test_bench_obs_quick_writes_overhead_metrics(tmp_path, capsys):
+    code = main(["bench", "--quick", "--suite", "obs",
+                 "--out-dir", str(tmp_path)])
+    assert code == 0
+    capsys.readouterr()
+    payload = json.loads((tmp_path / "BENCH_obs.json").read_text())
+    assert payload["schema"] == "repro.bench/1"
+    names = {r["name"] for r in payload["results"]}
+    assert {"sim/run/telemetry=off", "sim/run/telemetry=trace",
+            "sim/run/telemetry=timeline",
+            "sim/run/telemetry=phases"} <= names
+    assert payload["derived"]["telemetry_off_events_per_second"] > 0

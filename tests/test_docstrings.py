@@ -25,6 +25,9 @@ DOCTEST_MODULES = [
     "repro.mempool.priority",
     "repro.mempool.fee_market",
     "repro.workload.hotkey",
+    "repro.obs.timeline",
+    "repro.obs.steady",
+    "repro.obs.report",
 ]
 
 DOCUMENTED_PACKAGES = [
@@ -37,6 +40,7 @@ DOCUMENTED_PACKAGES = [
     "repro.exec",
     "repro.mempool",
     "repro.workload",
+    "repro.obs",
 ]
 
 
@@ -66,6 +70,16 @@ def test_mempool_doc_examples():
                                        verbose=False)
     assert failures == 0
     assert tried > 0, "docs/mempool.md lost its worked example"
+
+
+def test_observability_doc_examples():
+    """docs/observability.md's worked example runs verbatim."""
+    path = os.path.join(os.path.dirname(__file__), "..", "docs",
+                        "observability.md")
+    failures, tried = doctest.testfile(path, module_relative=False,
+                                       verbose=False)
+    assert failures == 0
+    assert tried > 0, "docs/observability.md lost its worked example"
 
 
 def _public_symbols(module):

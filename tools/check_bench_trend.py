@@ -18,6 +18,10 @@ Watched metrics (higher is better):
   present in *both* files, matched by exact case name;
 * ``mempool`` -- ``derived.admissions_per_second`` (admission-pipeline
   throughput) and ``ops_per_second`` of every ``admit...``/``evict...``
+  result case present in *both* files;
+* ``obs`` -- ``derived.telemetry_off_events_per_second`` (telemetry-off
+  harness throughput; a drop here is instrumentation overhead leaking
+  into the off path) and ``ops_per_second`` of every ``sim/run/...``
   result case present in *both* files.
 
 ``--require-case SUITE:NAME`` additionally *demands* that the freshly
@@ -50,7 +54,7 @@ import sys
 from typing import Dict, Iterator, List, Optional, Tuple
 
 DEFAULT_THRESHOLD = 0.20
-DEFAULT_SUITES = ("harness", "sketch", "mempool")
+DEFAULT_SUITES = ("harness", "sketch", "mempool", "obs")
 
 #: suite -> list of (metric label, extractor); extractor returns
 #: ``{label: higher-is-better value}`` entries found in a payload.
@@ -102,6 +106,15 @@ def watched_metrics(suite: str, payload: dict) -> Dict[str, float]:
         for result in payload.get("results", []):
             name = result.get("name", "")
             if name.startswith(("admit", "evict")):
+                metrics[f"result.{name}.ops_per_second"] = \
+                    float(result["ops_per_second"])
+    elif suite == "obs":
+        if "telemetry_off_events_per_second" in derived:
+            metrics["derived.telemetry_off_events_per_second"] = \
+                float(derived["telemetry_off_events_per_second"])
+        for result in payload.get("results", []):
+            name = result.get("name", "")
+            if name.startswith("sim/run/"):
                 metrics[f"result.{name}.ops_per_second"] = \
                     float(result["ops_per_second"])
     return metrics
@@ -225,7 +238,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="directory with the freshly generated files")
     parser.add_argument("--suites", nargs="+", default=list(DEFAULT_SUITES),
                         help="suites to compare"
-                             " (default: harness sketch mempool)")
+                             " (default: harness sketch mempool obs)")
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                         help="max tolerated fractional drop (default 0.20)")
     parser.add_argument("--ignore-params", action="store_true",
