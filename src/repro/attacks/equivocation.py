@@ -76,11 +76,12 @@ class EquivocatingNode(LONode):
         finally:
             self._send = original_send
 
-    def _send_sync_request(self, peer, spec, depth, capacity=None):
+    def _send_sync_request(self, peer, spec, depth, capacity=None,
+                           defer=None):
         # Outgoing requests also carry the per-peer fork.
         original_header = self.header
         self.header = lambda: self._header_for_peer(peer)  # type: ignore
         try:
-            super()._send_sync_request(peer, spec, depth, capacity)
+            super()._send_sync_request(peer, spec, depth, capacity, defer)
         finally:
             self.header = original_header  # type: ignore

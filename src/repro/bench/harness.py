@@ -17,6 +17,13 @@ Derived metrics:
 * ``large_events_per_second`` -- the same throughput probe on a
   1000-node topology (``sim/run/nodes=1000``), where per-event cost is
   dominated by large-overlay bookkeeping rather than kernel math;
+* ``paper_scale_events_per_second`` -- the same probe at the paper's
+  cluster size (``sim/run/nodes=10000``); completing this row at all is
+  the paper-scale acceptance gate, its throughput tracks the batched
+  delivery engine;
+* ``fanout_messages_per_second`` -- the ``sim/run/fanout`` micro-case:
+  pure ``Network.send_fanout`` + delivery over no-op endpoints, so
+  send-path regressions are attributable without protocol noise;
 * ``sweep_speedup_workersN`` -- serial wall / N-worker wall for the task
   matrix (bounded by the machine's core count; ~1x or below on one core);
 * ``sweep_workers`` -- the N used (min(4, cpu count));
@@ -57,6 +64,19 @@ def _large_sim_params(quick: bool) -> Dict[str, Any]:
         "rate_per_s": 5.0 if quick else 20.0,
         "duration_s": 1.0 if quick else 2.0,
         "drain_s": 0.5 if quick else 1.0,
+    }
+
+
+def _paper_scale_params(quick: bool) -> Dict[str, Any]:
+    # The paper's evaluation ran on a 10,000-node cluster; this row proves
+    # the engine completes a seeded run at that scale.  The simulated
+    # horizon stays short: 10,000 nodes ticking once a second already
+    # yields tens of thousands of events per simulated second.
+    return {
+        "num_nodes": 10000,
+        "rate_per_s": 2.0 if quick else 20.0,
+        "duration_s": 0.5 if quick else 1.0,
+        "drain_s": 0.25 if quick else 0.5,
     }
 
 
@@ -123,6 +143,73 @@ def harness_suite(quick: bool = False, seed: int = 42) -> SuiteOutput:
     )
     results.append(large_case)
     derived["large_events_per_second"] = large_case.ops_per_second
+
+    # --- paper scale: 10,000 nodes -------------------------------------
+    # The committed row CI requires via --require-case: a seeded run at
+    # the paper's cluster size must complete, and its throughput tracks
+    # the batched delivery engine (batched fan-outs, pooled envelopes,
+    # struct-of-arrays overlay state).
+    paper_kwargs = _paper_scale_params(quick)
+    paper_seconds = paper_kwargs["duration_s"] + paper_kwargs["drain_s"]
+    paper_probe = run_plain(seed=seed, **paper_kwargs)
+    paper_events = int(paper_probe["events_processed"])
+
+    def one_paper_run():
+        run_plain(seed=seed, **paper_kwargs)
+
+    paper_case = bench_case(
+        f"sim/run/nodes={paper_kwargs['num_nodes']}", one_paper_run,
+        params=dict(paper_kwargs, seed=seed, events=paper_events,
+                    sim_seconds=paper_seconds),
+        iterations=1, repeats=repeats, ops_per_call=paper_events,
+    )
+    results.append(paper_case)
+    derived["paper_scale_events_per_second"] = paper_case.ops_per_second
+
+    # --- send-path micro-case: fan-outs over no-op endpoints -----------
+    # Isolates Network.send_fanout + EventLoop delivery from all protocol
+    # work, so a batching/pooling regression shows up here even when the
+    # end-to-end rows hide it behind handler cost.
+    import random as _random
+
+    from repro.net.latency import CityLatencyModel
+    from repro.net.network import Endpoint, Network
+    from repro.sim.loop import EventLoop
+
+    class _Sink(Endpoint):
+        RETAINS_ENVELOPES = False  # envelopes recycle through the pool
+
+        def __init__(self, node_id: int):
+            self.node_id = node_id
+
+        def on_message(self, message) -> None:
+            pass
+
+    fanout_nodes = 64 if quick else 256
+    fanout_k = 8
+    fanout_rounds = 500 if quick else 2000
+    fanout_messages = fanout_rounds * fanout_k
+
+    def one_fanout_run():
+        loop = EventLoop()
+        network = Network(
+            loop, CityLatencyModel(fanout_nodes, _random.Random(seed))
+        )
+        for node_id in range(fanout_nodes):
+            network.register(_Sink(node_id))
+        recipients = list(range(1, fanout_k + 1))
+        for _ in range(fanout_rounds):
+            network.send_fanout(0, recipients, "bench/fanout", None, 64)
+            loop.run_until(loop.now + 0.5)
+
+    fanout_case = bench_case(
+        "sim/run/fanout", one_fanout_run,
+        params={"nodes": fanout_nodes, "fanout": fanout_k,
+                "rounds": fanout_rounds, "seed": seed},
+        iterations=1, repeats=repeats, ops_per_call=fanout_messages,
+    )
+    results.append(fanout_case)
+    derived["fanout_messages_per_second"] = fanout_case.ops_per_second
 
     # --- sweep engine: serial vs N workers -----------------------------
     grid = _task_grid(quick)
@@ -193,6 +280,8 @@ def harness_suite(quick: bool = False, seed: int = 42) -> SuiteOutput:
     )
 
     params = {"quick": quick, "seed": seed, "sim": sim_kwargs,
-              "sim_large": large_kwargs, "grid": grid,
-              "repetitions": repetitions, "workers": workers}
+              "sim_large": large_kwargs, "sim_paper": paper_kwargs,
+              "fanout": {"nodes": fanout_nodes, "fanout": fanout_k,
+                         "rounds": fanout_rounds},
+              "grid": grid, "repetitions": repetitions, "workers": workers}
     return results, derived, params

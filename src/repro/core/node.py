@@ -23,7 +23,7 @@ Wire protocol (message types on the simulated network):
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
 from repro.bloomclock import BloomClock
@@ -113,6 +113,11 @@ class _Session:
 class LONode(Endpoint):
     """One miner running the LO accountable base layer."""
 
+    #: Ingress reads the envelope synchronously (handlers keep payload
+    #: references, never the :class:`Message` itself), so the network may
+    #: recycle delivered envelopes through its pool.
+    RETAINS_ENVELOPES = False
+
     def __init__(
         self,
         node_id: int,
@@ -161,6 +166,9 @@ class LONode(Endpoint):
         self._seen_suspicions: Set[Tuple] = set()
         self._relayed_updates: Set[Tuple] = set()
         self._sync_event: Optional[Event] = None
+        # Per-tick reconciliation cache, live only inside one _sync_tick
+        # callback: (spec, capacity) -> (sketch, own counts, wire size).
+        self._sketch_cache: Optional[Dict[Tuple, Tuple]] = None
         self._nonce = 0
         self.quarantine = PeerQuarantine(
             threshold=config.quarantine_threshold,
@@ -372,29 +380,43 @@ class LONode(Endpoint):
             return
         fanout = min(self.config.sync_fanout, len(peers))
         sampled = self.rng.sample(peers, fanout)
-        for peer in sampled:
-            if self._peer_outdated(peer):
-                self._send_sync_request(peer, spec=None, depth=0)
-            else:
-                # Alg. 1 line 18: the peer is up to date, drop suspicion.
-                peer_key = self.directory.key_of(peer)
-                if self.acct.is_suspected(peer_key):
-                    self.acct.clear_suspicion(peer_key)
-        # Heal content holes: ids committed (possibly second-hand) whose
-        # bytes never arrived are re-requested from a random neighbour.
-        missing = self.log.missing_content()
-        if missing:
-            self._send_content_request(self.rng.choice(sampled), missing[:64])
-        # Heal chain gaps: keep fetching missing ancestor blocks while any
-        # buffered successor is waiting (rejoin catch-up).
-        if self._pending_blocks:
-            self._request_missing_blocks()
-        # Temporal accuracy under lossy networks: the clear-on-response
-        # paths above only cover sampled neighbours, so a suspicion adopted
-        # about a distant node could outlive the fault that caused it.
-        # Re-probe one suspected node per tick; its response (or a relayed
-        # commitment) clears the suspicion once the network heals.
-        self._probe_one_suspect()
+        # Per-tick reconciliation batching: the log cannot change inside
+        # this callback, so peers sharing a (spec, capacity) reuse one
+        # sketch build / own-count scan / wire-size computation, and the
+        # k sync requests leave as one delay-grouped network fan-out.
+        self._sketch_cache = {}
+        deferred: List[Tuple[int, str, Any, int, bool]] = []
+        try:
+            for peer in sampled:
+                if self._peer_outdated(peer):
+                    self._send_sync_request(peer, spec=None, depth=0,
+                                            defer=deferred)
+                else:
+                    # Alg. 1 line 18: the peer is up to date, drop suspicion.
+                    peer_key = self.directory.key_of(peer)
+                    if self.acct.is_suspected(peer_key):
+                        self.acct.clear_suspicion(peer_key)
+            if deferred:
+                self.network.send_many(self.node_id, deferred)
+            # Heal content holes: ids committed (possibly second-hand) whose
+            # bytes never arrived are re-requested from a random neighbour.
+            missing = self.log.missing_content()
+            if missing:
+                self._send_content_request(self.rng.choice(sampled),
+                                           missing[:64])
+            # Heal chain gaps: keep fetching missing ancestor blocks while
+            # any buffered successor is waiting (rejoin catch-up).
+            if self._pending_blocks:
+                self._request_missing_blocks()
+            # Temporal accuracy under lossy networks: the clear-on-response
+            # paths above only cover sampled neighbours, so a suspicion
+            # adopted about a distant node could outlive the fault that
+            # caused it.  Re-probe one suspected node per tick; its response
+            # (or a relayed commitment) clears the suspicion once the
+            # network heals.
+            self._probe_one_suspect()
+        finally:
+            self._sketch_cache = None
 
     def _probe_one_suspect(self) -> None:
         suspects: List[int] = []
@@ -455,6 +477,7 @@ class LONode(Endpoint):
     def _send_sync_request(
         self, peer: int, spec: Optional[SplitSpec], depth: int,
         capacity: Optional[int] = None,
+        defer: Optional[List[Tuple[int, str, Any, int, bool]]] = None,
     ) -> None:
         if spec is None:
             spec = self._flagged_spec(peer)
@@ -468,12 +491,22 @@ class LONode(Endpoint):
                 # implementation must provision the full worst-case sketch
                 # every round -- that cost is what the ablation measures.
                 capacity = self.config.sketch_capacity
-        sketch = sketch_for_spec(self.log, spec, capacity)
+        # Inside one _sync_tick the log is frozen, so peers sharing a
+        # (spec, capacity) share one sketch build, own-count scan and
+        # wire-size computation.
+        cache = self._sketch_cache
+        cached = cache.get((spec, capacity)) if cache is not None else None
+        if cached is not None:
+            sketch, shared_counts, wire_size = cached
+            pushed = dict(shared_counts)  # sessions may mutate their copy
+        else:
+            sketch = sketch_for_spec(self.log, spec, capacity)
+            pushed = self._own_counts_for_spec(spec)
+            wire_size = None
         request_obj = self.acct.open_request(
             self.directory.key_of(peer), "sync", (), self.now,
             self.config.request_retries,
         )
-        pushed = self._own_counts_for_spec(spec)
         timer = self.loop.call_later(
             self.config.request_timeout_s, self._on_sync_timeout,
             request_obj.request_id,
@@ -484,6 +517,10 @@ class LONode(Endpoint):
             spec=spec,
             sketch=sketch,
         )
+        if wire_size is None:
+            wire_size = request.wire_size()
+            if cache is not None:
+                cache[(spec, capacity)] = (sketch, dict(pushed), wire_size)
         _t = obs.TRACER
         span = None
         if _t.enabled:
@@ -498,7 +535,11 @@ class LONode(Endpoint):
             peer, spec, capacity, depth, pushed, timer,
             request_obj.request_id, span,
         )
-        self._send(peer, "lo/sync_req", request, request.wire_size())
+        if defer is not None:
+            defer.append((peer, "lo/sync_req", request,
+                          wire_size + ENVELOPE_BYTES, True))
+        else:
+            self._send(peer, "lo/sync_req", request, wire_size)
 
     def _own_counts_for_spec(self, spec: SplitSpec) -> Dict[int, int]:
         """Per-cell count of our own items inside a spec (coverage check)."""
@@ -632,6 +673,18 @@ class LONode(Endpoint):
     ) -> None:
         self.network.send(
             self.node_id, peer, msg_type, payload,
+            wire_bytes=body_bytes + ENVELOPE_BYTES, is_overhead=is_overhead,
+        )
+
+    def _send_fanout(
+        self, peers: Sequence[int], msg_type: str, payload, body_bytes: int,
+        is_overhead: bool = True,
+    ) -> None:
+        """One shared payload to many peers as a delay-grouped batch."""
+        if not peers:
+            return
+        self.network.send_fanout(
+            self.node_id, peers, msg_type, payload,
             wire_bytes=body_bytes + ENVELOPE_BYTES, is_overhead=is_overhead,
         )
 
@@ -989,8 +1042,8 @@ class LONode(Endpoint):
         if key in self._seen_suspicions:
             return
         self._seen_suspicions.add(key)
-        for peer in self._gossip_peers():
-            self._send(peer, "lo/suspicion", blame, blame.wire_size())
+        self._send_fanout(self._gossip_peers(), "lo/suspicion", blame,
+                          blame.wire_size())
 
     def _gossip_peers(self) -> List[int]:
         peers = self._eligible_neighbors()
@@ -1060,8 +1113,8 @@ class LONode(Endpoint):
             relay_key = (signer.raw, header.seq)
             if relay_key not in self._relayed_updates:
                 self._relayed_updates.add(relay_key)
-                for peer in self._gossip_peers():
-                    self._send(peer, "lo/commit_upd", header, header.wire_size())
+                self._send_fanout(self._gossip_peers(), "lo/commit_upd",
+                                  header, header.wire_size())
 
     def _observe_remote_header(self, header: CommitmentHeader) -> None:
         evidence = self.acct.observe_header(header)
@@ -1102,8 +1155,8 @@ class LONode(Endpoint):
                 accused_key=blame.accused.raw.hex()[:16],
                 evidence=evidence_kind, evidence_digest=digest,
             )
-        for peer in self._gossip_peers():
-            self._send(peer, "lo/exposure", blame, blame.wire_size())
+        self._send_fanout(self._gossip_peers(), "lo/exposure", blame,
+                          blame.wire_size())
 
     def _handle_exposure(self, message: Message) -> None:
         blame: ExposureBlame = message.payload
@@ -1151,9 +1204,8 @@ class LONode(Endpoint):
                 self.block_tracker.record_seen(sketch_id, 0, self.now)
         if self.on_block_created is not None:
             self.on_block_created(block)
-        for peer in self._eligible_neighbors():
-            self._send(peer, "lo/block", announce, announce.wire_size(),
-                       is_overhead=False)
+        self._send_fanout(self._eligible_neighbors(), "lo/block", announce,
+                          announce.wire_size(), is_overhead=False)
 
     def _handle_block_announce(self, message: Message) -> None:
         announce: BlockAnnounce = message.payload
@@ -1164,10 +1216,10 @@ class LONode(Endpoint):
         if not block.signature_valid():
             return
         # Forward first: settlement and detection both ride on propagation.
-        for peer in self._eligible_neighbors():
-            if peer != message.sender:
-                self._send(peer, "lo/block", announce, announce.wire_size(),
-                           is_overhead=False)
+        self._send_fanout(
+            [p for p in self._eligible_neighbors() if p != message.sender],
+            "lo/block", announce, announce.wire_size(), is_overhead=False,
+        )
         self._settle_or_buffer(announce)
 
     def _settle_or_buffer(self, announce: BlockAnnounce) -> None:

@@ -13,6 +13,11 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
+try:  # optional: vectorised batch lookups when numpy is installed
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the fallback path
+    _np = None
+
 
 class LatencyModel:
     """Base class: maps (sender, recipient) to a one-way delay in seconds."""
@@ -25,13 +30,34 @@ class LatencyModel:
     #: ``False``.
     PAIR_STABLE = True
 
+    #: When ``True``, ``delay`` is a cheap pure lookup (no RNG draw, no
+    #: expensive math), so the network layer skips its per-ordered-pair
+    #: memo dict entirely: at a 10,000-node overlay the memo would hold
+    #: millions of tuple keys while saving nothing over the direct call.
+    CHEAP_DELAY = False
+
     def delay(self, sender: int, recipient: int) -> float:
         """One-way delay for a message between two node indices."""
         raise NotImplementedError
 
+    def delays_batch(self, sender: int, recipients: Sequence[int]) -> List[float]:
+        """One-way delays from ``sender`` to every recipient, in order.
+
+        The contract is byte-identity with the scalar path: element ``i``
+        must equal ``delay(sender, recipients[i])`` exactly, so a batched
+        fan-out schedules deliveries at the same timestamps as per-pair
+        calls would.  Subclasses override this when they can vectorise;
+        the default simply loops (preserving any first-call RNG draw
+        order a stateful model relies on).
+        """
+        scalar = self.delay
+        return [scalar(sender, recipient) for recipient in recipients]
+
 
 class ConstantLatencyModel(LatencyModel):
     """Every message takes exactly ``delay_s`` seconds; handy in unit tests."""
+
+    CHEAP_DELAY = True
 
     def __init__(self, delay_s: float = 0.05):
         if delay_s < 0:
@@ -40,6 +66,9 @@ class ConstantLatencyModel(LatencyModel):
 
     def delay(self, sender: int, recipient: int) -> float:
         return self.delay_s
+
+    def delays_batch(self, sender: int, recipients: Sequence[int]) -> List[float]:
+        return [self.delay_s] * len(recipients)
 
 
 class UniformLatencyModel(LatencyModel):
@@ -106,6 +135,14 @@ class CityLatencyModel(LatencyModel):
     ``delay`` no matter how many nodes the network has (1,000 or 10,000
     alike) -- only the fixed 32x32 city matrix is precomputed, flattened
     row-major so a lookup is a single list index.
+
+    Id handling: any non-negative id is assigned a city by ``id %
+    num_cities``.  Overlay-external endpoints (light clients register
+    with ids above the miner range) therefore get a stable city of their
+    own instead of silently aliasing onto a miner's: the historical
+    ``(id % num_nodes) % num_cities`` double-mod collapsed client
+    ``1_000_000`` onto whatever miner ``1_000_000 % num_nodes`` happened
+    to be.  Negative ids are always a caller bug and raise.
     """
 
     BASE_DELAY_S = 0.002
@@ -131,8 +168,15 @@ class CityLatencyModel(LatencyModel):
                 flat[a * n + b] = delay
                 flat[b * n + a] = delay
         self._city_delay_flat = flat
+        # Same matrix as a numpy array (row-major), for batch lookups.
+        self._city_delay_np = (
+            _np.asarray(flat, dtype=_np.float64).reshape(n, n)
+            if _np is not None else None
+        )
         # Materialized lazily (only if a caller wants the per-node view).
         self._assignment_cache: Optional[List[int]] = None
+
+    CHEAP_DELAY = True
 
     @property
     def _assignment(self) -> List[int]:
@@ -143,12 +187,42 @@ class CityLatencyModel(LatencyModel):
             ]
         return self._assignment_cache
 
+    def _city_index(self, node: int) -> int:
+        if node < 0:
+            raise ValueError(f"negative node id: {node}")
+        return node % self._num_cities
+
     def city_of(self, node: int) -> str:
-        """Name of the city a node index is assigned to."""
-        return self._cities[(node % self._num_nodes) % self._num_cities][0]
+        """Name of the city a node id is assigned to (round-robin)."""
+        return self._cities[self._city_index(node)][0]
 
     def delay(self, sender: int, recipient: int) -> float:
+        if sender < 0 or recipient < 0:
+            raise ValueError(f"negative node id: ({sender}, {recipient})")
         n = self._num_cities
-        ca = (sender % self._num_nodes) % n
-        cb = (recipient % self._num_nodes) % n
-        return self._city_delay_flat[ca * n + cb]
+        return self._city_delay_flat[(sender % n) * n + recipient % n]
+
+    def delays_batch(self, sender: int, recipients: Sequence[int]) -> List[float]:
+        """Vectorised row lookup; byte-identical to per-pair ``delay``.
+
+        With numpy installed the whole fan-out is one fancy-indexing read
+        of the sender's matrix row; the float64 values are bit-for-bit
+        the floats the scalar path returns, so batched scheduling lands
+        deliveries on exactly the same timestamps.
+        """
+        if sender < 0:
+            raise ValueError(f"negative node id: {sender}")
+        n = self._num_cities
+        if self._city_delay_np is not None and len(recipients) >= 4:
+            idx = _np.asarray(recipients)
+            if idx.size and int(idx.min()) < 0:
+                raise ValueError(f"negative node id in batch: {recipients}")
+            return self._city_delay_np[sender % n, idx % n].tolist()
+        flat = self._city_delay_flat
+        row = (sender % n) * n
+        out = []
+        for recipient in recipients:
+            if recipient < 0:
+                raise ValueError(f"negative node id: {recipient}")
+            out.append(flat[row + recipient % n])
+        return out

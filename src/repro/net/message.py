@@ -6,13 +6,18 @@ transport); ``wire_bytes`` states what the real implementation would put on
 the wire, so bandwidth experiments measure protocol overhead rather than
 Python object sizes.  Every protocol computes ``wire_bytes`` from the
 serialized sizes of its data structures (sketches, clocks, signatures...).
+
+Envelopes are pooled on the network's fault-free fast path: a hand-rolled
+``__slots__`` class (not a dataclass -- ``slots=True`` needs 3.10+) keeps
+the instance a fixed-size struct the :class:`repro.net.network.Network`
+free list can recycle in place, re-stamping ``msg_id`` from the global
+counter so recycled envelopes are indistinguishable from fresh ones.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
 
 # Fixed per-message envelope cost: UDP/IP-style header plus message type tag,
 # matching how the paper's prototype (ipv8 over UDP) frames packets.
@@ -21,7 +26,6 @@ ENVELOPE_BYTES = 32
 _message_counter = itertools.count()
 
 
-@dataclass
 class Message:
     """A typed, size-accounted message.
 
@@ -30,19 +34,55 @@ class Message:
     envelope.  ``is_overhead`` distinguishes protocol overhead from raw
     transaction payload bytes: Fig. 9 "omit[s] the bandwidth overhead for
     sharing transactions, as it is the same for all protocols".
+
+    ``pooled`` is owned by the network: ``True`` marks an envelope the
+    network acquired from its free list (and may reclaim after a
+    non-retaining endpoint's ``on_message`` returns).  Envelopes built
+    directly -- tests, chaos duplicates, the slow path -- leave it
+    ``False`` and are never recycled.
     """
 
-    sender: Any
-    recipient: Any
-    msg_type: str
-    payload: Any
-    wire_bytes: int
-    is_overhead: bool = True
-    msg_id: int = field(default_factory=lambda: next(_message_counter))
+    __slots__ = ("sender", "recipient", "msg_type", "payload", "wire_bytes",
+                 "is_overhead", "msg_id", "pooled")
 
-    def __post_init__(self) -> None:
-        if self.wire_bytes < 0:
-            raise ValueError(f"negative wire_bytes: {self.wire_bytes}")
+    def __init__(
+        self,
+        sender: Any,
+        recipient: Any,
+        msg_type: str,
+        payload: Any,
+        wire_bytes: int,
+        is_overhead: bool = True,
+        msg_id: Optional[int] = None,
+    ):
+        if wire_bytes < 0:
+            raise ValueError(f"negative wire_bytes: {wire_bytes}")
+        self.sender = sender
+        self.recipient = recipient
+        self.msg_type = msg_type
+        self.payload = payload
+        self.wire_bytes = wire_bytes
+        self.is_overhead = is_overhead
+        self.msg_id = next(_message_counter) if msg_id is None else msg_id
+        self.pooled = False
+
+    def __eq__(self, other: Any) -> bool:
+        # Field-for-field equality, msg_id included, matching the old
+        # dataclass semantics: a chaos-corrupted copy never equals its
+        # original even when the corruption round-trips the payload.
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (
+            self.sender == other.sender
+            and self.recipient == other.recipient
+            and self.msg_type == other.msg_type
+            and self.payload == other.payload
+            and self.wire_bytes == other.wire_bytes
+            and self.is_overhead == other.is_overhead
+            and self.msg_id == other.msg_id
+        )
+
+    __hash__ = None  # mutable envelope, same as the eq=True dataclass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -20,26 +20,60 @@ Every dropped message is attributed to a reason in ``drop_reasons``
 Hot path: when no fault of any kind is installed (no crashes, blocked
 links, partition, delivery hooks or chaos injector -- the common case for
 clean runs), ``send`` takes a precomputed fast path that skips the whole
-branch chain, reads the modelled delay from a per-ordered-pair memo and
-schedules delivery without allocating a cancellation handle.  Installing
-*any* fault flips the flag off; clearing them all flips it back on.  The
-tracer guard is likewise hoisted: a module-level ``_TRACE`` binding is
-rebound by :func:`repro.obs.on_tracer_change` and is ``None`` whenever
-tracing is off, so the per-message tracing cost with tracing disabled is
-one global load and branch.
+branch chain.  Installing *any* fault flips the flag off; clearing them
+all flips it back on.  The tracer guard is likewise hoisted: a
+module-level ``_TRACE`` binding is rebound by
+:func:`repro.obs.on_tracer_change` and is ``None`` whenever tracing is
+off, so the per-message tracing cost with tracing disabled is one global
+load and branch.
+
+Batched delivery engine (paper-scale overlays)
+----------------------------------------------
+
+Three structural optimisations keep a 10,000-node overlay affordable
+while preserving same-seed byte-identity with the per-message path
+(``tests/integration/test_fastpath_identity.py`` and the batched-vs-
+unbatched property in ``tests/net/test_batching.py`` are the gates):
+
+* **Batched fan-outs** -- :meth:`send_many` / :meth:`send_fanout` group a
+  whole fan-out by modelled delay and push one
+  :meth:`repro.sim.loop.EventLoop.schedule_batch_later` entry per
+  distinct delivery time, collapsing heap traffic from O(messages) to
+  O(distinct delays); with a city latency model that is at most 32
+  groups no matter the fan-out.  Delays for the whole fan-out come from
+  one vectorised :meth:`LatencyModel.delays_batch` call when the model
+  declares ``CHEAP_DELAY``.
+* **Pooled envelopes** -- the fault-free path recycles
+  :class:`~repro.net.message.Message` instances through a free list.  An
+  envelope returns to the pool after ``on_message`` unless the endpoint
+  class sets ``RETAINS_ENVELOPES = True`` (the safe default) to declare
+  it holds references across callbacks.  Recycled envelopes re-stamp
+  ``msg_id`` from the global counter, so ids stay identical to fresh
+  allocation.
+* **Struct-of-arrays overlay state** -- routes, meters, crash flags and
+  partition membership for ids below :data:`DENSE_ID_LIMIT` live in
+  index-addressed arrays, so the send/deliver path does a bounds check
+  plus list index instead of hashing every message.  Sparse ids (light
+  clients register above one million) fall back to the original dicts.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
 from repro.net.latency import ConstantLatencyModel, LatencyModel
-from repro.net.message import Message
+from repro.net.message import Message, _message_counter
 from repro.sim.loop import EventLoop
 
 NodeId = int
+
+#: Node ids below this bound get struct-of-arrays state (index-addressed
+#: routes/meters/crash/partition); ids at or above it -- light clients
+#: start at 1,000,000 -- use the dict fallback.  Covers 10,000-node
+#: overlays with room to spare while bounding array memory.
+DENSE_ID_LIMIT = 1 << 18
 
 #: The installed tracer when tracing is enabled, ``None`` otherwise.
 #: Rebound by :func:`_rebind_tracer` on every ``obs.set_tracer``; hot
@@ -61,6 +95,13 @@ class Endpoint:
     """Interface every simulated node implements."""
 
     node_id: NodeId
+
+    #: Whether this endpoint may keep a reference to a delivered
+    #: :class:`Message` after ``on_message`` returns.  ``True`` (the safe
+    #: default) exempts its deliveries from envelope pooling; endpoints
+    #: that only read the envelope synchronously override with ``False``
+    #: to let the network recycle it.
+    RETAINS_ENVELOPES = True
 
     def on_message(self, message: Message) -> None:
         """Handle a delivered message."""
@@ -124,21 +165,42 @@ class Network:
     [{'x': 1}]
     """
 
+    #: Free-list bound: beyond this many idle envelopes, released ones
+    #: are left to the garbage collector instead.
+    POOL_MAX = 1024
+
     def __init__(
         self,
         loop: EventLoop,
         latency_model: Optional[LatencyModel] = None,
+        batching_enabled: bool = True,
     ):
         self.loop = loop
         self.latency_model = latency_model or ConstantLatencyModel(0.05)
+        #: When ``False``, :meth:`send_many` / :meth:`send_fanout` degrade
+        #: to per-message :meth:`send` loops -- the unbatched reference the
+        #: equivalence tests compare against.
+        self.batching_enabled = batching_enabled
         self.nodes: Dict[NodeId, Endpoint] = {}
         self.meters: Dict[NodeId, BandwidthMeter] = {}
-        # (endpoint, meter) per registered node, bound once at register
-        # time so delivery costs one dict lookup instead of two.
-        self._routes: Dict[NodeId, Tuple[Endpoint, BandwidthMeter]] = {}
+        # (endpoint, meter, releasable) per registered node, bound once at
+        # register time so delivery costs one lookup instead of three.
+        self._routes: Dict[
+            NodeId, Tuple[Endpoint, BandwidthMeter, bool]
+        ] = {}
+        # Struct-of-arrays mirrors of the dicts above for dense ids; grown
+        # on registration, indexed by node id.
+        self._route_a: List[
+            Optional[Tuple[Endpoint, BandwidthMeter, bool]]
+        ] = []
+        self._meter_a: List[Optional[BandwidthMeter]] = []
         self._crashed: Set[NodeId] = set()
+        self._crashed_a = bytearray()
         self._blocked_links: Set[Tuple[NodeId, NodeId]] = set()
         self._partition: Optional[List[Set[NodeId]]] = None
+        # Dense partition encoding: _group_a[id] is the group index or -1,
+        # or None when no partition is installed / ids are not all dense.
+        self._group_a: Optional[List[int]] = None
         self.dropped_messages = 0
         self.delivered_messages = 0
         self.drop_reasons: Dict[str, int] = defaultdict(int)
@@ -148,16 +210,39 @@ class Network:
         self._fault_injector: Optional[
             Callable[[Message, float], List[Tuple[float, Message]]]
         ] = None
+        # Models declaring CHEAP_DELAY are pure lookups: memoizing them
+        # per ordered pair would cost more (and, at 10k nodes, hold
+        # millions of tuple keys) than calling straight through.
+        cheap = bool(getattr(self.latency_model, "CHEAP_DELAY", False))
+        self._cheap_delay = cheap
         # Per-ordered-pair delay memo; only for models declaring their
-        # delays stable per pair (all bundled models do).
+        # delays stable per pair but not cheap (e.g. first-call RNG draws).
         self._delay_cache: Optional[Dict[Tuple[NodeId, NodeId], float]] = (
-            {} if getattr(self.latency_model, "PAIR_STABLE", False) else None
+            {}
+            if getattr(self.latency_model, "PAIR_STABLE", False) and not cheap
+            else None
         )
+        # Envelope free list (see module docstring).
+        self._pool: List[Message] = []
         # True while no fault of any kind is installed; send() then skips
         # the crashed/blocked/partition/hook/injector branch chain.
         self._fast_send = True
 
     # ----------------------------------------------------------- membership
+
+    def _grow_dense(self, node_id: NodeId) -> None:
+        """Extend the dense arrays to cover ``node_id`` (id already vetted)."""
+        old = len(self._route_a)
+        pad = node_id + 1 - old
+        if pad > 0:
+            self._route_a.extend([None] * pad)
+            self._meter_a.extend([None] * pad)
+            self._crashed_a.extend(b"\x00" * pad)
+            # An id can be crashed before any registration grows the
+            # arrays over it; mirror those flags into the new range.
+            for member in self._crashed:
+                if type(member) is int and old <= member <= node_id:
+                    self._crashed_a[member] = 1
 
     def register(self, endpoint: Endpoint) -> None:
         """Attach an endpoint; its ``node_id`` must be unique."""
@@ -167,7 +252,13 @@ class Network:
         self.nodes[node_id] = endpoint
         meter = BandwidthMeter()
         self.meters[node_id] = meter
-        self._routes[node_id] = (endpoint, meter)
+        releasable = not getattr(endpoint, "RETAINS_ENVELOPES", True)
+        route = (endpoint, meter, releasable)
+        self._routes[node_id] = route
+        if type(node_id) is int and 0 <= node_id < DENSE_ID_LIMIT:
+            self._grow_dense(node_id)
+            self._route_a[node_id] = route
+            self._meter_a[node_id] = meter
 
     def unregister(self, node_id: NodeId) -> None:
         """Detach a node (it stops receiving); meter is retained.
@@ -179,12 +270,17 @@ class Network:
         self.nodes.pop(node_id, None)
         self._routes.pop(node_id, None)
         self._crashed.discard(node_id)
+        if type(node_id) is int and 0 <= node_id < len(self._route_a):
+            self._route_a[node_id] = None
+            self._meter_a[node_id] = None
+            self._crashed_a[node_id] = 0
         self._blocked_links = {
             link for link in self._blocked_links if node_id not in link
         }
         if self._partition is not None:
             for group in self._partition:
                 group.discard(node_id)
+            self._rebuild_partition_dense()
         self._refresh_fast_path()
 
     # ------------------------------------------------------- fault injection
@@ -202,15 +298,26 @@ class Network:
     def crash(self, node_id: NodeId) -> None:
         """Silently drop all traffic to and from ``node_id``."""
         self._crashed.add(node_id)
+        if type(node_id) is int and 0 <= node_id < len(self._crashed_a):
+            self._crashed_a[node_id] = 1
         self._fast_send = False
 
     def recover(self, node_id: NodeId) -> None:
         """Undo :meth:`crash`."""
         self._crashed.discard(node_id)
+        if type(node_id) is int and 0 <= node_id < len(self._crashed_a):
+            self._crashed_a[node_id] = 0
         self._refresh_fast_path()
 
     def is_crashed(self, node_id: NodeId) -> bool:
         """Whether a node is currently crashed (offline)."""
+        return node_id in self._crashed
+
+    def _is_crashed_fast(self, node_id: NodeId) -> bool:
+        """Set-equivalent crash membership via the dense byte array."""
+        arr = self._crashed_a
+        if type(node_id) is int and 0 <= node_id < len(arr):
+            return arr[node_id] != 0
         return node_id in self._crashed
 
     def block_link(self, sender: NodeId, recipient: NodeId) -> None:
@@ -223,14 +330,35 @@ class Network:
         self._blocked_links.discard((sender, recipient))
         self._refresh_fast_path()
 
+    def _rebuild_partition_dense(self) -> None:
+        """Re-derive ``_group_a`` from ``_partition`` (or disable it)."""
+        groups = self._partition
+        self._group_a = None
+        if not groups:
+            return
+        size = len(self._route_a)
+        for group in groups:
+            for member in group:
+                if not (type(member) is int and 0 <= member < DENSE_ID_LIMIT):
+                    return  # sparse member: keep the set-based check
+                if member >= size:
+                    size = member + 1
+        arr = [-1] * size
+        for index, group in enumerate(groups):
+            for member in group:
+                arr[member] = index
+        self._group_a = arr
+
     def partition(self, groups: List[Set[NodeId]]) -> None:
         """Install a partition: messages between different groups are dropped."""
         self._partition = groups
+        self._rebuild_partition_dense()
         self._fast_send = False
 
     def heal_partition(self) -> None:
         """Remove any installed partition."""
         self._partition = None
+        self._group_a = None
         self._refresh_fast_path()
 
     def add_delivery_hook(self, hook: Callable[[Message], bool]) -> None:
@@ -274,6 +402,14 @@ class Network:
     def _crosses_partition(self, sender: NodeId, recipient: NodeId) -> bool:
         if self._partition is None:
             return False
+        arr = self._group_a
+        if arr is not None and type(sender) is int and type(recipient) is int:
+            size = len(arr)
+            sender_group = arr[sender] if 0 <= sender < size else -1
+            if sender_group < 0:
+                return False
+            recipient_group = arr[recipient] if 0 <= recipient < size else -1
+            return recipient_group != sender_group
         for group in self._partition:
             if sender in group:
                 return recipient not in group
@@ -293,6 +429,51 @@ class Network:
             cache[key] = delay
         return delay
 
+    def _delays(self, sender: NodeId, recipients: Sequence[NodeId]) -> List[float]:
+        """Delays for a whole fan-out; identical values to ``_pair_delay``."""
+        if self._cheap_delay:
+            return self.latency_model.delays_batch(sender, recipients)
+        return [self._pair_delay(sender, recipient) for recipient in recipients]
+
+    def _acquire(
+        self,
+        sender: NodeId,
+        recipient: NodeId,
+        msg_type: str,
+        payload: Any,
+        wire_bytes: int,
+        is_overhead: bool,
+    ) -> Message:
+        """A pooled envelope: recycled when available, fresh otherwise.
+
+        Recycling re-stamps ``msg_id`` from the same global counter a
+        fresh construction would draw from, so id sequences are identical
+        either way (the byte-identity tests rely on this).
+        """
+        pool = self._pool
+        if pool:
+            if wire_bytes < 0:
+                raise ValueError(f"negative wire_bytes: {wire_bytes}")
+            message = pool.pop()
+            message.sender = sender
+            message.recipient = recipient
+            message.msg_type = msg_type
+            message.payload = payload
+            message.wire_bytes = wire_bytes
+            message.is_overhead = is_overhead
+            message.msg_id = next(_message_counter)
+            return message
+        message = Message(sender, recipient, msg_type, payload, wire_bytes,
+                          is_overhead)
+        message.pooled = True
+        return message
+
+    def _sender_meter(self, sender: NodeId) -> Optional[BandwidthMeter]:
+        arr = self._meter_a
+        if type(sender) is int and 0 <= sender < len(arr):
+            return arr[sender]
+        return self.meters.get(sender)
+
     def send(
         self,
         sender: NodeId,
@@ -308,21 +489,30 @@ class Network:
         message, as over UDP.  Sender-side bytes are metered even when the
         message is dropped downstream (the bytes left the sender's NIC).
         """
+        if self._fast_send:
+            # No faults installed anywhere: skip the whole branch chain
+            # and draw the envelope from the pool.
+            message = self._acquire(sender, recipient, msg_type, payload,
+                                    wire_bytes, is_overhead)
+            meter = self._sender_meter(sender)
+            if meter is not None:
+                meter.record_send(message)
+            if _TRACE is not None:
+                _TRACE.message_event("net.send", self.loop.now, msg_type,
+                                     sender, recipient, wire_bytes)
+            self.loop.schedule_later(
+                self._pair_delay(sender, recipient), self._deliver, message
+            )
+            return
         message = Message(sender, recipient, msg_type, payload, wire_bytes,
                           is_overhead)
-        meter = self.meters.get(sender)
+        meter = self._sender_meter(sender)
         if meter is not None:
             meter.record_send(message)
         if _TRACE is not None:
             _TRACE.message_event("net.send", self.loop.now, msg_type, sender,
                                  recipient, message.wire_bytes)
-        if self._fast_send:
-            # No faults installed anywhere: skip the whole branch chain.
-            self.loop.schedule_later(
-                self._pair_delay(sender, recipient), self._deliver, message
-            )
-            return
-        if sender in self._crashed or recipient in self._crashed:
+        if self._is_crashed_fast(sender) or self._is_crashed_fast(recipient):
             self._drop("crashed", message)
             return
         if (sender, recipient) in self._blocked_links:
@@ -346,16 +536,113 @@ class Network:
             return
         self.loop.schedule_later(delay, self._deliver, message)
 
+    def send_many(
+        self,
+        sender: NodeId,
+        sends: Sequence[Tuple[NodeId, str, Any, int, bool]],
+    ) -> None:
+        """Send a fan-out of per-recipient messages as delay-grouped batches.
+
+        ``sends`` is a sequence of ``(recipient, msg_type, payload,
+        wire_bytes, is_overhead)`` tuples.  On the fault-free fast path
+        with batching enabled, delays for the whole fan-out come from one
+        :meth:`LatencyModel.delays_batch` call and messages sharing a
+        delay collapse into a single batch heap entry; otherwise this
+        degrades to per-message :meth:`send` calls.  Both paths meter,
+        trace, allocate ids and deliver in ``sends`` order, so they are
+        byte-identical under the same seed.
+        """
+        if not (self.batching_enabled and self._fast_send):
+            for recipient, msg_type, payload, wire_bytes, is_overhead in sends:
+                self.send(sender, recipient, msg_type, payload, wire_bytes,
+                          is_overhead)
+            return
+        delays = self._delays(sender, [entry[0] for entry in sends])
+        meter = self._sender_meter(sender)
+        trace = _TRACE
+        now = self.loop.now
+        groups: Dict[float, List[tuple]] = {}
+        for (recipient, msg_type, payload, wire_bytes, is_overhead), delay \
+                in zip(sends, delays):
+            message = self._acquire(sender, recipient, msg_type, payload,
+                                    wire_bytes, is_overhead)
+            if meter is not None:
+                meter.record_send(message)
+            if trace is not None:
+                trace.message_event("net.send", now, msg_type, sender,
+                                    recipient, wire_bytes)
+            group = groups.get(delay)
+            if group is None:
+                groups[delay] = [(message,)]
+            else:
+                group.append((message,))
+        self._schedule_groups(groups)
+
+    def send_fanout(
+        self,
+        sender: NodeId,
+        recipients: Sequence[NodeId],
+        msg_type: str,
+        payload: Any,
+        wire_bytes: int,
+        is_overhead: bool = True,
+    ) -> None:
+        """:meth:`send_many` for one shared payload to many recipients."""
+        if not (self.batching_enabled and self._fast_send):
+            for recipient in recipients:
+                self.send(sender, recipient, msg_type, payload, wire_bytes,
+                          is_overhead)
+            return
+        delays = self._delays(sender, recipients)
+        meter = self._sender_meter(sender)
+        trace = _TRACE
+        now = self.loop.now
+        groups: Dict[float, List[tuple]] = {}
+        for recipient, delay in zip(recipients, delays):
+            message = self._acquire(sender, recipient, msg_type, payload,
+                                    wire_bytes, is_overhead)
+            if meter is not None:
+                meter.record_send(message)
+            if trace is not None:
+                trace.message_event("net.send", now, msg_type, sender,
+                                    recipient, wire_bytes)
+            group = groups.get(delay)
+            if group is None:
+                groups[delay] = [(message,)]
+            else:
+                group.append((message,))
+        self._schedule_groups(groups)
+
+    def _schedule_groups(self, groups: Dict[float, List[tuple]]) -> None:
+        """One heap entry per distinct delay, in first-occurrence order.
+
+        First-occurrence order matters: it makes each group's sequence
+        number fall exactly where its first message's would have under
+        per-message scheduling, so ties at equal delivery times resolve
+        identically to the unbatched path.
+        """
+        loop = self.loop
+        deliver = self._deliver
+        for delay, items in groups.items():
+            if len(items) == 1:
+                loop.schedule_later(delay, deliver, items[0][0])
+            else:
+                loop.schedule_batch_later(delay, deliver, items)
+
     def _deliver(self, message: Message) -> None:
         recipient = message.recipient
-        if self._crashed and recipient in self._crashed:
+        if self._crashed and self._is_crashed_fast(recipient):
             self._drop("crashed", message)
             return
-        route = self._routes.get(recipient)
+        arr = self._route_a
+        if type(recipient) is int and 0 <= recipient < len(arr):
+            route = arr[recipient]
+        else:
+            route = self._routes.get(recipient)
         if route is None:
             self._drop("no_endpoint", message)
             return
-        endpoint, meter = route
+        endpoint, meter, releasable = route
         meter.record_recv(message)
         self.delivered_messages += 1
         if _TRACE is not None:
@@ -363,6 +650,11 @@ class Network:
                                  message.msg_type, message.sender, recipient,
                                  message.wire_bytes)
         endpoint.on_message(message)
+        if releasable and message.pooled:
+            pool = self._pool
+            if len(pool) < self.POOL_MAX:
+                message.payload = None  # drop the payload reference now
+                pool.append(message)
 
     # ------------------------------------------------------------ statistics
 

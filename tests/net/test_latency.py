@@ -115,3 +115,57 @@ def test_city_model_same_city_is_cheapest():
 def test_city_model_rejects_empty():
     with pytest.raises(ValueError):
         CityLatencyModel(0, random.Random(1))
+
+
+def test_city_model_rejects_negative_ids():
+    model = CityLatencyModel(64, random.Random(1))
+    with pytest.raises(ValueError):
+        model.city_of(-1)
+    with pytest.raises(ValueError):
+        model.delay(-1, 3)
+    with pytest.raises(ValueError):
+        model.delay(3, -1)
+    with pytest.raises(ValueError):
+        model.delays_batch(-1, [0, 1])
+    with pytest.raises(ValueError):
+        model.delays_batch(0, [1, -2, 3, 4, 5])
+
+
+def test_city_model_out_of_range_ids_no_double_wrap():
+    # Regression: city_of/delay used to apply a redundant `% num_nodes`
+    # before the city modulus, silently collapsing overlay-external ids
+    # (light clients start at 1,000,000) onto arbitrary miners' cities.
+    # The contract is now plain round-robin on the id itself.
+    model = CityLatencyModel(70, random.Random(1))
+    assert model.city_of(1_000_000) == model.city_of(1_000_000 % 32)
+    # Old behaviour: cities[(1_000_000 % 70) % 32] -- a different city.
+    assert model.city_of(1_000_000) != model.city_of((1_000_000 % 70) % 32)
+    assert model.delay(1_000_000, 5) == model.delay(1_000_000 % 32, 5)
+    assert model.delay(5, 1_000_000) == model.delay(5, 1_000_000 % 32)
+
+
+def test_delays_batch_matches_scalar_exactly():
+    # The batched path must be byte-identical to per-pair delay() calls:
+    # both the short pure-Python path and the vectorised one (>= 4
+    # recipients when numpy is installed).
+    models = (
+        ConstantLatencyModel(0.017),
+        UniformLatencyModel(0.01, 0.1, random.Random(5)),
+        CityLatencyModel(48, random.Random(5)),
+    )
+    for model in models:
+        for recipients in ([7], [1, 2], list(range(40)), [3, 1_000_000, 5, 9]):
+            if model.__class__ is UniformLatencyModel:
+                recipients = [r % 48 for r in recipients]
+            batched = model.delays_batch(2, recipients)
+            scalar = [model.delay(2, r) for r in recipients]
+            assert batched == scalar, model
+
+
+def test_cheap_delay_flags():
+    # Pure-lookup models advertise CHEAP_DELAY so the network skips its
+    # per-ordered-pair memo; the stateful uniform model must not (its
+    # first call draws RNG, which the memo preserves).
+    assert ConstantLatencyModel(0.05).CHEAP_DELAY
+    assert CityLatencyModel(16, random.Random(0)).CHEAP_DELAY
+    assert not UniformLatencyModel(0.01, 0.1, random.Random(0)).CHEAP_DELAY
